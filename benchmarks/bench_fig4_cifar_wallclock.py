@@ -1,0 +1,48 @@
+"""Figure 4: train/test error vs wall-clock seconds on CIFAR.
+
+Paper observations this bench reproduces on the DES virtual clock:
+ASGD is fastest per epoch (no barrier), SSGD stalls on stragglers, and
+LC-ASGD pays a small predictor round-trip cost but keeps ASGD-like speed.
+"""
+
+from repro.bench import ascii_plot, format_table
+
+from benchmarks.conftest import CIFAR_ALGOS, WORKER_COUNTS, cifar_curves
+
+
+def test_fig4_error_vs_wallclock(benchmark):
+    results = benchmark.pedantic(cifar_curves, rounds=1, iterations=1)
+
+    for m in (4, 16):
+        series = {}
+        for algo in CIFAR_ALGOS:
+            run = results[(algo, 1 if algo == "sgd" else m)]
+            series[algo] = (run.times(), run.series("test_error"))
+        print()
+        print(ascii_plot(series, title=f"Figure 4 (M={m}): test error vs simulated seconds",
+                         xlabel="virtual seconds", ylabel="test error"))
+
+    rows = []
+    for algo in CIFAR_ALGOS:
+        for m in (1,) if algo == "sgd" else WORKER_COUNTS:
+            run = results[(algo, m)]
+            rows.append([algo, m, f"{run.total_virtual_time:.1f}",
+                         f"{run.total_virtual_time / max(run.total_updates,1) * 1e3:.1f}"])
+    print(format_table(["algorithm", "M", "total virtual s", "virtual ms/batch"], rows,
+                       title="Figure 4 summary (simulated wall clock)"))
+
+    # Shape assertions:
+    # 1. distributing speeds up: every M=16 run is much faster than SGD;
+    sgd_time = results[("sgd", 1)].total_virtual_time
+    for algo in CIFAR_ALGOS[1:]:
+        assert results[(algo, 16)].total_virtual_time < sgd_time
+    # 2. the SSGD barrier costs wall-clock relative to ASGD at every M;
+    for m in WORKER_COUNTS:
+        assert results[("ssgd", m)].total_virtual_time >= results[("asgd", m)].total_virtual_time * 0.95
+    # 3. LC-ASGD's extra round trip costs something but stays in the async
+    #    ballpark (paper: "similar convergence speed to ASGD").
+    for m in WORKER_COUNTS:
+        lc = results[("lc-asgd", m)].total_virtual_time
+        asgd = results[("asgd", m)].total_virtual_time
+        assert lc >= asgd * 0.9
+        assert lc <= asgd * 2.5

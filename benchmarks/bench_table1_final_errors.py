@@ -1,0 +1,70 @@
+"""Table 1: final test error and degradation for every algorithm and M.
+
+Paper: {BN, Async-BN} x {CIFAR-10, ImageNet} x M in {1, 4, 8, 16} x five
+algorithms.  The Async-BN halves come from the shared figure grids; the
+replace-BN comparison lives in bench_table4_asyncbn.py (Section 5.3).
+Degradation is computed against the paper's baselines: sequential SGD for
+CIFAR, SSGD-4 for ImageNet.
+"""
+
+from repro.bench import format_table
+from repro.bench.workloads import paper_reference
+from repro.core.metrics import degradation
+
+from benchmarks.conftest import (
+    CIFAR_ALGOS,
+    IMAGENET_ALGOS,
+    WORKER_COUNTS,
+    cifar_curves,
+    imagenet_curves,
+)
+
+
+def _both_grids():
+    return cifar_curves(), imagenet_curves()
+
+
+def test_table1_final_errors(benchmark):
+    cifar, imagenet = benchmark.pedantic(_both_grids, rounds=1, iterations=1)
+
+    rows = []
+    cifar_base = cifar[("sgd", 1)].final_test_error
+    rows.append(["cifar", 1, "sgd", f"{100*cifar_base:.2f}", "baseline", "5.15", "baseline"])
+    for m in WORKER_COUNTS:
+        for algo in CIFAR_ALGOS[1:]:
+            err = cifar[(algo, m)].final_test_error
+            deg = degradation(err, cifar_base)
+            ref = paper_reference("cifar", m, algo)
+            ref_deg = degradation(ref, 5.15)
+            rows.append(["cifar", m, algo, f"{100*err:.2f}", f"{deg:+.1f}%", f"{ref}", f"{ref_deg:+.1f}%"])
+
+    imagenet_base = imagenet[("ssgd", 4)].final_test_error
+    for m in WORKER_COUNTS:
+        for algo in IMAGENET_ALGOS:
+            err = imagenet[(algo, m)].final_test_error
+            deg = degradation(err, imagenet_base)
+            ref = paper_reference("imagenet", m, algo)
+            ref_deg = degradation(ref, 24.49)
+            rows.append(["imagenet", m, algo, f"{100*err:.2f}", f"{deg:+.1f}%", f"{ref}", f"{ref_deg:+.1f}%"])
+
+    print()
+    print(format_table(
+        ["dataset", "M", "algorithm", "err %", "degr.", "paper err %", "paper degr."],
+        rows,
+        title="Table 1 (Async-BN): measured vs paper (shape comparison; absolute scales differ)",
+    ))
+
+    # Robust shape assertions (the paper's Table-1 claims, with noise slack):
+    # 1. LC-ASGD is the best (or within 2 points of the best) distributed
+    #    algorithm at every M, on both datasets;
+    for grid, algos, key in ((cifar, CIFAR_ALGOS[1:], "cifar"), (imagenet, IMAGENET_ALGOS, "imagenet")):
+        for m in WORKER_COUNTS:
+            best = min(grid[(a, m)].final_test_error for a in algos)
+            lc = grid[("lc-asgd", m)].final_test_error
+            assert lc <= best + 0.02, (key, m, lc, best)
+    # 2. at small M, LC-ASGD is competitive with the sequential baseline
+    #    (paper: "even better than SGD when the number of workers is small");
+    assert cifar[("lc-asgd", 4)].final_test_error <= cifar_base + 0.02
+    # 3. SSGD degrades with the worker count on both datasets.
+    assert cifar[("ssgd", 16)].final_test_error > cifar[("ssgd", 4)].final_test_error - 0.01
+    assert imagenet[("ssgd", 16)].final_test_error > imagenet[("ssgd", 4)].final_test_error - 0.01

@@ -1,0 +1,54 @@
+"""Table 2: per-iteration predictor overhead on CIFAR.
+
+Paper: loss predictor ~1.3 ms, step predictor ~1.4 ms per training
+iteration against a ~32-34 ms ResNet-18 V100 iteration => ~8% overhead,
+rising slightly with M.
+
+Measurement semantics here (documented in EXPERIMENTS.md): predictor costs
+are *real measured CPU milliseconds* of the online LSTMs; "total training"
+is the *simulated* per-batch time (30 ms — deliberately calibrated to the
+paper's V100 ResNet-18 iteration), because our worker is a stand-in MLP
+whose real CPU time says nothing about the paper's hardware.  The overhead
+ratio is therefore predictor-cost : paper-scale-iteration, the same
+quantity Table 2 reports.
+"""
+
+from repro.bench import format_table
+from repro.bench.workloads import PAPER_OVERHEAD, cifar_workload
+
+from benchmarks.conftest import WORKER_COUNTS, cifar_curves
+
+
+def test_table2_overhead_cifar(benchmark):
+    results = benchmark.pedantic(cifar_curves, rounds=1, iterations=1)
+
+    rows = []
+    for m in WORKER_COUNTS:
+        run = results[("lc-asgd", m)]
+        loss_ms = run.timers["loss_pred_ms"]
+        step_ms = run.timers["step_pred_ms"]
+        total_ms = cifar_workload("lc-asgd", m).cluster.mean_batch_time * 1e3
+        overhead = 100 * (loss_ms + step_ms) / total_ms
+        ref = PAPER_OVERHEAD[("cifar", m)]
+        rows.append([
+            m,
+            f"{loss_ms:.2f}", f"{ref['loss_pred_ms']:.2f}",
+            f"{step_ms:.2f}", f"{ref['step_pred_ms']:.2f}",
+            f"{total_ms:.1f}", f"{ref['total_ms']:.1f}",
+            f"{overhead:.1f}%", f"{ref['overhead_pct']:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["M", "loss ms", "(paper)", "step ms", "(paper)", "total ms", "(paper)", "overhead", "(paper)"],
+        rows,
+        title="Table 2: predictor overhead per training iteration (CIFAR)",
+    ))
+
+    for m in WORKER_COUNTS:
+        run = results[("lc-asgd", m)]
+        assert run.timers["loss_pred_ms"] > 0
+        assert run.timers["step_pred_ms"] > 0
+        # predictors must stay within a couple of paper-scale iterations even
+        # on a contended CPU (EXPERIMENTS.md discusses the CPU-vs-GPU gap)
+        combined = run.timers["loss_pred_ms"] + run.timers["step_pred_ms"]
+        assert combined < 60.0, f"predictor cost {combined:.1f} ms is implausibly high"

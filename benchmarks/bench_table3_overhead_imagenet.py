@@ -1,0 +1,61 @@
+"""Table 3: per-iteration predictor overhead on ImageNet.
+
+Same semantics as Table 2 (see bench_table2_overhead_cifar.py); the paper's
+key observation is that against ImageNet's ~185 ms iterations the same
+predictors cost only ~1.5% — the overhead is model-size-relative, so the
+heavier the worker model, the more negligible LC-ASGD's server cost.
+"""
+
+from repro.bench import format_table
+from repro.bench.workloads import PAPER_OVERHEAD, imagenet_workload
+
+from benchmarks.conftest import WORKER_COUNTS, imagenet_curves
+
+
+def test_table3_overhead_imagenet(benchmark):
+    results = benchmark.pedantic(imagenet_curves, rounds=1, iterations=1)
+
+    rows = []
+    overheads = {}
+    for m in WORKER_COUNTS:
+        run = results[("lc-asgd", m)]
+        loss_ms = run.timers["loss_pred_ms"]
+        step_ms = run.timers["step_pred_ms"]
+        total_ms = imagenet_workload("lc-asgd", m).cluster.mean_batch_time * 1e3
+        overheads[m] = 100 * (loss_ms + step_ms) / total_ms
+        ref = PAPER_OVERHEAD[("imagenet", m)]
+        rows.append([
+            m,
+            f"{loss_ms:.2f}", f"{ref['loss_pred_ms']:.2f}",
+            f"{step_ms:.2f}", f"{ref['step_pred_ms']:.2f}",
+            f"{total_ms:.1f}", f"{ref['total_ms']:.1f}",
+            f"{overheads[m]:.1f}%", f"{ref['overhead_pct']:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["M", "loss ms", "(paper)", "step ms", "(paper)", "total ms", "(paper)", "overhead", "(paper)"],
+        rows,
+        title="Table 3: predictor overhead per training iteration (ImageNet)",
+    ))
+
+    # The paper's structural claim: ImageNet-scale iterations make the same
+    # predictor cost a much smaller fraction than on CIFAR (~6x batch time).
+    cifar_results = None
+    try:
+        from benchmarks.conftest import _CACHE
+
+        cifar_results = _CACHE.get("cifar-curves")
+    except ImportError:  # pragma: no cover
+        pass
+    for m in WORKER_COUNTS:
+        run = results[("lc-asgd", m)]
+        combined = run.timers["loss_pred_ms"] + run.timers["step_pred_ms"]
+        assert combined > 0
+        if cifar_results is not None:
+            cifar_total = 30.0
+            imagenet_total = 180.0
+            cifar_run = cifar_results[("lc-asgd", m)]
+            cifar_overhead = (
+                cifar_run.timers["loss_pred_ms"] + cifar_run.timers["step_pred_ms"]
+            ) / cifar_total
+            assert combined / imagenet_total < cifar_overhead + 0.05

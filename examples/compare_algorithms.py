@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline comparison at one worker count.
+
+Trains the same model/data/schedule with all five algorithms (sequential
+SGD, SSGD, ASGD, DC-ASGD, LC-ASGD) on the simulated cluster and prints a
+Figure-3-style error curve plus a Table-1-style summary with degradation
+against sequential SGD.
+
+Usage::
+
+    python examples/compare_algorithms.py [--workers 16] [--epochs 16]
+"""
+
+import argparse
+
+from repro.bench import ascii_plot, format_table
+from repro.core import DistributedTrainer, TrainingConfig
+from repro.core.metrics import degradation
+
+ALGORITHMS = ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=16)
+    parser.add_argument("--epochs", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    results = {}
+    for algorithm in ALGORITHMS:
+        config = TrainingConfig.small_cifar(
+            algorithm=algorithm,
+            num_workers=1 if algorithm == "sgd" else args.workers,
+            epochs=args.epochs,
+            lr_milestones=(args.epochs // 2, (3 * args.epochs) // 4),
+            seed=args.seed,
+        )
+        print(f"running {algorithm:8s} (M={config.num_workers}) ...", flush=True)
+        results[algorithm] = DistributedTrainer(config).run()
+
+    print()
+    print(ascii_plot(
+        {a: (r.epochs(), r.series("test_error")) for a, r in results.items()},
+        title=f"Test error vs epoch, M={args.workers} (CIFAR stand-in)",
+        xlabel="epoch",
+        ylabel="test error",
+    ))
+
+    baseline = results["sgd"].final_test_error
+    rows = []
+    for algorithm, run in results.items():
+        deg = "baseline" if algorithm == "sgd" else f"{degradation(run.final_test_error, baseline):+.1f}%"
+        rows.append([
+            algorithm,
+            run.num_workers,
+            f"{100*run.final_test_error:.2f}",
+            deg,
+            f"{run.staleness['mean']:.1f}",
+            f"{run.total_virtual_time:.1f}",
+        ])
+    print()
+    print(format_table(
+        ["algorithm", "M", "test err %", "vs SGD", "mean staleness", "virtual s"],
+        rows,
+        title="Table-1-style summary",
+    ))
+
+
+if __name__ == "__main__":
+    main()

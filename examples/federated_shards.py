@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's future-work extension: workers with disjoint data shards.
+
+The paper's main setting shares the training set among all workers; its
+conclusion proposes extending LC-ASGD to "different workers train the
+models with different subsets of input data".  This example implements
+that: each simulated worker's loader draws only from its own shard
+(repro.data.shard_dataset), and we compare shared-data vs sharded-data
+training for ASGD and LC-ASGD.
+
+Usage::
+
+    python examples/federated_shards.py [--workers 8]
+"""
+
+import argparse
+
+from repro.bench import format_table
+from repro.core import DistributedTrainer, TrainingConfig
+from repro.data import DataLoader, shard_dataset
+
+
+def run(algorithm: str, workers: int, epochs: int, seed: int, sharded: bool):
+    config = TrainingConfig.small_cifar(
+        algorithm=algorithm,
+        num_workers=workers,
+        epochs=epochs,
+        lr_milestones=(epochs // 2, (3 * epochs) // 4),
+        seed=seed,
+    )
+    trainer = DistributedTrainer(config)
+    if sharded:
+        shards = shard_dataset(trainer.train_set, workers, seed=seed)
+        for worker, shard in zip(trainer.workers, shards):
+            worker.loader = DataLoader(shard, config.batch_size, seed=seed + worker.worker_id)
+    return trainer.run()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--epochs", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    rows = []
+    for algorithm in ("asgd", "lc-asgd"):
+        for sharded in (False, True):
+            label = "sharded" if sharded else "shared"
+            print(f"running {algorithm:8s} ({label}) ...", flush=True)
+            result = run(algorithm, args.workers, args.epochs, args.seed, sharded)
+            rows.append([
+                algorithm,
+                label,
+                f"{100*result.final_test_error:.2f}",
+                f"{100*result.final_train_error:.2f}",
+                f"{result.staleness['mean']:.1f}",
+            ])
+
+    print()
+    print(format_table(
+        ["algorithm", "data placement", "test err %", "train err %", "mean staleness"],
+        rows,
+        title=f"Shared vs sharded training data (M={args.workers})",
+    ))
+    print("\nSharding each worker to 1/M of the data is the harder setting the "
+          "paper leaves to future work; loss compensation still applies since "
+          "the server's loss series remains a global signal.")
+
+
+if __name__ == "__main__":
+    main()

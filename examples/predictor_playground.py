@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Study the server-side predictors (Algorithms 3-4) in isolation.
+
+Feeds synthetic loss curves (smooth decay, learning-rate steps, noisy
+plateaus) to the online LSTM loss predictor and its non-learned baselines,
+then prints one-step-forecast accuracy per series — the standalone version
+of the paper's Figure 7.
+
+Usage::
+
+    python examples/predictor_playground.py [--length 300]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench import ascii_scatter, format_table
+from repro.core.predictors import (
+    EMALossPredictor,
+    LastValueLossPredictor,
+    LinearTrendLossPredictor,
+    LSTMLossPredictor,
+)
+from repro.data.synthetic import make_regression_series
+
+
+def evaluate(predictor, series, warmup=30):
+    """Feed the series online; return the post-warmup one-step MAE."""
+    errors = []
+    for i, value in enumerate(series):
+        forecast = predictor.predict_next()
+        if forecast is not None and i >= warmup:
+            errors.append(abs(forecast - value))
+        predictor.observe(float(value))
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rows = []
+    for kind in ("decay", "step", "noisy"):
+        series = make_regression_series(args.length, kind=kind, noise=0.02, seed=args.seed)
+        maes = {}
+        for name, factory in (
+            ("lstm", lambda: LSTMLossPredictor(hidden_size=16, window=12, seed=args.seed)),
+            ("ema", EMALossPredictor),
+            ("last", LastValueLossPredictor),
+            ("linear", LinearTrendLossPredictor),
+        ):
+            maes[name] = evaluate(factory(), series)
+        rows.append([kind] + [f"{maes[n]:.4f}" for n in ("lstm", "ema", "last", "linear")])
+
+    print(format_table(
+        ["loss series", "LSTM (paper)", "EMA", "last-value", "linear trend"],
+        rows,
+        title="One-step loss-forecast MAE by predictor (lower is better)",
+    ))
+
+    # visualize the LSTM tracking the hardest series, Figure-7 style
+    series = make_regression_series(args.length, kind="step", noise=0.02, seed=args.seed)
+    predictor = LSTMLossPredictor(hidden_size=16, window=12, seed=args.seed)
+    actual, predicted = [], []
+    for value in series:
+        forecast = predictor.predict_next()
+        if forecast is not None:
+            actual.append(value)
+            predicted.append(forecast)
+        predictor.observe(float(value))
+    print()
+    print(ascii_scatter(actual[-120:], predicted[-120:],
+                        title="LSTM loss predictor on a learning-rate-step series (last 120)"))
+
+
+if __name__ == "__main__":
+    main()

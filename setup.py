@@ -1,0 +1,19 @@
+"""Setup shim so editable installs work on minimal/offline toolchains.
+
+Modern tooling reads pyproject.toml; this file exists because PEP 660
+editable installs require the `wheel` package, which offline environments
+may lack.  `python setup.py develop` (or `pip install -e .` where wheel is
+available) both work.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,31 @@
+"""repro — a from-scratch reproduction of LC-ASGD (Li et al., ICPP 2020).
+
+The package bundles everything the paper depends on:
+
+* :mod:`repro.tensor` — a reverse-mode autograd engine over NumPy.
+* :mod:`repro.nn` — neural-network layers (Linear, Conv2d, BatchNorm, LSTM,
+  ResNet family) built on the tensor engine.
+* :mod:`repro.optim` — SGD and learning-rate schedules.
+* :mod:`repro.data` — synthetic stand-ins for CIFAR-10 / ImageNet plus
+  loaders and sharding helpers.
+* :mod:`repro.cluster` — a deterministic discrete-event simulator of a
+  parameter-server cluster (workers, links, stragglers).
+* :mod:`repro.core` — the paper's contribution: the parameter server
+  (Algorithm 2), worker (Algorithm 1), the five training algorithms
+  (SGD/SSGD/ASGD/DC-ASGD/LC-ASGD), the LSTM loss predictor (Algorithm 3),
+  the LSTM step predictor (Algorithm 4), Async-BN (Formulas 6-7) and the
+  :class:`~repro.core.trainer.DistributedTrainer` that ties them together.
+* :mod:`repro.bench` — the harness regenerating every table and figure of
+  the paper's evaluation section.
+
+Quickstart::
+
+    from repro.core import DistributedTrainer, TrainingConfig
+    cfg = TrainingConfig.small_cifar(algorithm="lc-asgd", num_workers=8)
+    result = DistributedTrainer(cfg).run()
+    print(result.final_test_error)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,37 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+* :mod:`repro.bench.workloads` — the named experiment configurations, one
+  per table/figure (scaled per DESIGN.md's substitution table).
+* :mod:`repro.bench.harness` — grid runners and result aggregation.
+* :mod:`repro.bench.plots` — terminal-friendly ASCII line charts and tables
+  so every figure renders in CI logs without matplotlib.
+"""
+
+from repro.bench.harness import (
+    ExperimentGrid,
+    GridResult,
+    format_table,
+    run_curves,
+    run_grid,
+)
+from repro.bench.plots import ascii_plot, ascii_scatter
+from repro.bench.workloads import (
+    bench_profile,
+    cifar_workload,
+    imagenet_workload,
+    paper_reference,
+)
+
+__all__ = [
+    "ExperimentGrid",
+    "GridResult",
+    "run_grid",
+    "run_curves",
+    "format_table",
+    "ascii_plot",
+    "ascii_scatter",
+    "cifar_workload",
+    "imagenet_workload",
+    "bench_profile",
+    "paper_reference",
+]

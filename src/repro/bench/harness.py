@@ -1,0 +1,119 @@
+"""Grid runners and result aggregation for the benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TrainingConfig
+from repro.core.metrics import RunResult, degradation
+from repro.core.trainer import DistributedTrainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("bench.harness")
+
+
+@dataclass
+class GridResult:
+    """Results of a (algorithm x workers) grid, averaged over seeds."""
+
+    cells: Dict[Tuple[str, int], List[RunResult]] = field(default_factory=dict)
+
+    def add(self, result: RunResult) -> None:
+        """File one run under its (algorithm, workers) cell."""
+        self.cells.setdefault((result.algorithm, result.num_workers), []).append(result)
+
+    def mean_test_error(self, algorithm: str, workers: int) -> float:
+        """Seed-averaged final test error of a cell."""
+        runs = self.cells[(algorithm, workers)]
+        return float(np.mean([r.final_test_error for r in runs]))
+
+    def mean_degradation(self, algorithm: str, workers: int, baseline: float) -> float:
+        """Seed-averaged Table-1 degradation (%) against ``baseline`` error."""
+        return degradation(self.mean_test_error(algorithm, workers), baseline)
+
+    def runs(self, algorithm: str, workers: int) -> List[RunResult]:
+        """All seed runs of a cell."""
+        return self.cells[(algorithm, workers)]
+
+
+class ExperimentGrid:
+    """Declarative (algorithm x workers x seeds) sweep over a workload factory."""
+
+    def __init__(
+        self,
+        workload: Callable[..., TrainingConfig],
+        algorithms: Sequence[str],
+        worker_counts: Sequence[int],
+        seeds: Sequence[int] = (7,),
+        **workload_kwargs,
+    ) -> None:
+        self.workload = workload
+        self.algorithms = tuple(algorithms)
+        self.worker_counts = tuple(worker_counts)
+        self.seeds = tuple(seeds)
+        self.workload_kwargs = workload_kwargs
+
+    def run(self) -> GridResult:
+        """Execute every cell sequentially (deterministic order)."""
+        grid = GridResult()
+        for algorithm in self.algorithms:
+            counts = (1,) if algorithm == "sgd" else self.worker_counts
+            for workers in counts:
+                for seed in self.seeds:
+                    config = self.workload(
+                        algorithm, workers, seed=seed, **self.workload_kwargs
+                    )
+                    logger.info("grid cell: %s M=%d seed=%d", algorithm, workers, seed)
+                    grid.add(DistributedTrainer(config).run())
+        return grid
+
+
+def run_grid(
+    workload: Callable[..., TrainingConfig],
+    algorithms: Sequence[str],
+    worker_counts: Sequence[int],
+    seeds: Sequence[int] = (7,),
+    **kwargs,
+) -> GridResult:
+    """One-shot helper around :class:`ExperimentGrid`."""
+    return ExperimentGrid(workload, algorithms, worker_counts, seeds, **kwargs).run()
+
+
+def run_curves(
+    workload: Callable[..., TrainingConfig],
+    algorithms: Sequence[str],
+    workers: int,
+    seed: int = 7,
+    **kwargs,
+) -> Dict[str, RunResult]:
+    """Run one seed per algorithm and return results keyed by algorithm."""
+    out: Dict[str, RunResult] = {}
+    for algorithm in algorithms:
+        config = workload(algorithm, workers, seed=seed, **kwargs)
+        out[algorithm] = DistributedTrainer(config).run()
+    return out
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with aligned columns (bench stdout artifact)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

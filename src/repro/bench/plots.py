@@ -1,0 +1,90 @@
+"""ASCII rendering of curves and tables (no plotting dependencies offline)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII line chart.
+
+    Each series gets a distinct marker; a legend and axis ranges are
+    appended.  Intended for figure benches: the paper's learning curves
+    render directly into CI logs.
+    """
+    if not series:
+        raise ValueError("ascii_plot needs at least one series")
+    markers = "ox+*#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ValueError("ascii_plot received empty series")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}"
+    lines.append(" " * (label_width + 1) + x_axis)
+    if xlabel or ylabel:
+        lines.append(" " * (label_width + 1) + f"x: {xlabel}   y: {ylabel}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 1) + legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    actual: Sequence[float],
+    predicted: Sequence[float],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Overlay actual vs predicted series against their index (Figs 7-8)."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    idx = np.arange(len(actual))
+    return ascii_plot(
+        {"actual": (idx, actual), "predicted": (idx[: len(predicted)], predicted)},
+        width=width,
+        height=height,
+        title=title,
+        xlabel="iteration",
+        ylabel="value",
+    )

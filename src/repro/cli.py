@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro run|compare|info``.
+
+A thin veneer over :class:`~repro.core.trainer.DistributedTrainer` for
+users who want the headline experiments without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import DistributedTrainer, TrainingConfig
+from repro.core.config import ALGORITHMS
+from repro.version import __version__
+
+
+def _result_payload(result) -> dict:
+    return {
+        "algorithm": result.algorithm,
+        "num_workers": result.num_workers,
+        "bn_mode": result.bn_mode,
+        "final_test_error": result.final_test_error,
+        "final_train_error": result.final_train_error,
+        "best_test_error": result.best_test_error,
+        "total_updates": result.total_updates,
+        "total_virtual_time": result.total_virtual_time,
+        "staleness": result.staleness,
+        "curve": [
+            {
+                "epoch": p.epoch,
+                "time": p.time,
+                "train_error": p.train_error,
+                "test_error": p.test_error,
+            }
+            for p in result.curve
+        ],
+    }
+
+
+def _make_config(args: argparse.Namespace, algorithm: str) -> TrainingConfig:
+    factory = {
+        "cifar": TrainingConfig.small_cifar,
+        "imagenet": TrainingConfig.small_imagenet,
+    }[args.dataset]
+    overrides = {}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+        overrides["lr_milestones"] = (args.epochs // 2, (3 * args.epochs) // 4)
+    return factory(
+        algorithm=algorithm,
+        num_workers=1 if algorithm == "sgd" else args.workers,
+        seed=args.seed,
+        **overrides,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=8, help="simulated worker count")
+    parser.add_argument("--dataset", choices=["cifar", "imagenet"], default="cifar")
+    parser.add_argument("--epochs", type=int, default=None, help="override preset epochs")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", metavar="PATH", default=None, help="write results as JSON")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LC-ASGD reproduction (ICPP 2020)"
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="train once with one algorithm")
+    run_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
+    _add_common(run_p)
+
+    cmp_p = sub.add_parser("compare", help="train all five algorithms and summarize")
+    _add_common(cmp_p)
+
+    info_p = sub.add_parser("info", help="describe the resolved configuration")
+    info_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
+    _add_common(info_p)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        config = _make_config(args, args.algorithm)
+        print(json.dumps({k: str(v) for k, v in vars(config).items()}, indent=2))
+        return 0
+
+    if args.command == "run":
+        config = _make_config(args, args.algorithm)
+        print(f"running {config.algorithm} on {config.num_workers} worker(s)...", flush=True)
+        result = DistributedTrainer(config).run()
+        payload = _result_payload(result)
+        print(f"final test error: {result.final_test_error:.2%} "
+              f"(virtual {result.total_virtual_time:.1f}s, "
+              f"mean staleness {result.staleness['mean']:.1f})")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"wrote {args.json}")
+        return 0
+
+    # compare
+    payloads = []
+    for algorithm in ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd"):
+        config = _make_config(args, algorithm)
+        print(f"running {algorithm:8s} (M={config.num_workers})...", flush=True)
+        result = DistributedTrainer(config).run()
+        payloads.append(_result_payload(result))
+        print(f"  -> test error {result.final_test_error:.2%}")
+    best = min(payloads, key=lambda p: p["final_test_error"])
+    print(f"\nbest: {best['algorithm']} at {best['final_test_error']:.2%}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payloads, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

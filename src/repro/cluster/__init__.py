@@ -1,0 +1,28 @@
+"""Discrete-event simulation of a parameter-server cluster.
+
+Substitutes the paper's physical testbed (one NVIDIA V100 per worker node,
+parameter server with two extra GPUs, real Ethernet) with a deterministic
+virtual-time simulator.  What the algorithms under study actually consume
+is the *ordering* of compute/communication events — that ordering produces
+the gradient staleness ``k_m`` that DC-ASGD and LC-ASGD compensate — and the
+simulator reproduces it with controllable heterogeneity, jitter and
+straggler injection (see DESIGN.md substitution table).
+"""
+
+from repro.cluster.event import Event, EventQueue
+from repro.cluster.network import LinkModel, NetworkModel
+from repro.cluster.node import ComputeModel, StragglerModel
+from repro.cluster.simulator import Simulator
+from repro.cluster.trace import ClusterTrace, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "LinkModel",
+    "NetworkModel",
+    "ComputeModel",
+    "StragglerModel",
+    "ClusterTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,58 @@
+"""Event primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback in virtual time.
+
+    Ordering is ``(time, seq)``: ties in virtual time are broken by
+    insertion order, which keeps runs deterministic regardless of float
+    coincidences.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at virtual ``time``; returns the event."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=float(time), seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the earliest event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,91 @@
+"""Network link models: latency + bandwidth + jitter per worker-server pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class LinkModel:
+    """One direction of a worker <-> server link.
+
+    Transfer time for ``nbytes`` is::
+
+        base_latency * jitter + nbytes / bandwidth
+
+    where ``jitter`` is lognormal with scale ``jitter_sigma`` (0 disables).
+    """
+
+    base_latency: float = 1e-3
+    bandwidth: float = 1e9  # bytes / second
+    jitter_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("base_latency", self.base_latency, strict=False)
+        check_positive("bandwidth", self.bandwidth)
+        check_positive("jitter_sigma", self.jitter_sigma, strict=False)
+
+    def transfer_time(self, nbytes: float, rng: np.random.Generator) -> float:
+        """Sample the virtual seconds needed to move ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        jitter = 1.0
+        if self.jitter_sigma > 0:
+            jitter = float(rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+        return self.base_latency * jitter + nbytes / self.bandwidth
+
+
+class NetworkModel:
+    """Per-worker link pairs with independent jitter streams.
+
+    Heterogeneity: worker ``i`` gets its base latency scaled by a factor
+    drawn once from ``U[1-h, 1+h]`` (``h = heterogeneity``), so some workers
+    are persistently better connected — which is what makes the step
+    predictor's job non-trivial but learnable (Figure 8).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        link: Optional[LinkModel] = None,
+        heterogeneity: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        check_positive("num_workers", num_workers)
+        if not 0.0 <= heterogeneity < 1.0:
+            raise ValueError("heterogeneity must be in [0, 1)")
+        self.num_workers = int(num_workers)
+        base = link or LinkModel()
+        setup_rng = as_generator(seed, "network-setup")
+        self._rngs: Dict[int, np.random.Generator] = {}
+        self._links: Dict[int, LinkModel] = {}
+        for worker in range(self.num_workers):
+            factor = 1.0
+            if heterogeneity > 0:
+                factor = float(setup_rng.uniform(1 - heterogeneity, 1 + heterogeneity))
+            self._links[worker] = LinkModel(
+                base_latency=base.base_latency * factor,
+                bandwidth=base.bandwidth,
+                jitter_sigma=base.jitter_sigma,
+            )
+            self._rngs[worker] = as_generator(seed, f"network-worker-{worker}")
+
+    def link(self, worker: int) -> LinkModel:
+        """The (scaled) link model of ``worker``."""
+        self._check_worker(worker)
+        return self._links[worker]
+
+    def transfer_time(self, worker: int, nbytes: float) -> float:
+        """Sample a transfer duration on ``worker``'s link."""
+        self._check_worker(worker)
+        return self._links[worker].transfer_time(nbytes, self._rngs[worker])
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range [0, {self.num_workers})")

@@ -1,0 +1,105 @@
+"""Worker compute-time models with heterogeneity and straggler injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class StragglerModel:
+    """Occasional multiplicative slow-downs.
+
+    With probability ``probability`` per compute call, the duration is
+    multiplied by ``slowdown``.  This models the "varied computing power or
+    abnormal communication latency" stragglers the paper cites as SSGD's
+    weakness, and gives the step predictor volatile-delay conditions
+    (Section 1: "delay ... is usually high and volatile").
+    """
+
+    probability: float = 0.0
+    slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_probability("probability", self.probability)
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1.0")
+
+    def factor(self, rng: np.random.Generator) -> float:
+        """Sample the multiplicative slow-down for one compute call."""
+        if self.probability > 0 and rng.random() < self.probability:
+            return self.slowdown
+        return 1.0
+
+
+class ComputeModel:
+    """Per-worker batch compute durations.
+
+    Worker ``i`` has a persistent speed factor drawn from ``U[1-h, 1+h]``
+    (``h = heterogeneity``) plus per-call lognormal jitter, so finishing
+    order is "generally regular" with occasional variance — exactly the
+    structure visible in the paper's Figure 8.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        mean_batch_time: float = 0.03,
+        heterogeneity: float = 0.15,
+        jitter_sigma: float = 0.05,
+        straggler: Optional[StragglerModel] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        check_positive("num_workers", num_workers)
+        check_positive("mean_batch_time", mean_batch_time)
+        if not 0.0 <= heterogeneity < 1.0:
+            raise ValueError("heterogeneity must be in [0, 1)")
+        check_positive("jitter_sigma", jitter_sigma, strict=False)
+        self.num_workers = int(num_workers)
+        self.mean_batch_time = float(mean_batch_time)
+        self.jitter_sigma = float(jitter_sigma)
+        self.straggler = straggler or StragglerModel()
+        setup_rng = as_generator(seed, "compute-setup")
+        self._factors: Dict[int, float] = {}
+        self._rngs: Dict[int, np.random.Generator] = {}
+        for worker in range(self.num_workers):
+            factor = 1.0
+            if heterogeneity > 0:
+                factor = float(setup_rng.uniform(1 - heterogeneity, 1 + heterogeneity))
+            self._factors[worker] = factor
+            self._rngs[worker] = as_generator(seed, f"compute-worker-{worker}")
+
+    def speed_factor(self, worker: int) -> float:
+        """Persistent relative cost multiplier of ``worker``."""
+        self._check_worker(worker)
+        return self._factors[worker]
+
+    def duration(self, worker: int, fraction: float = 1.0) -> float:
+        """Sample a compute duration.
+
+        ``fraction`` scales the batch time (e.g. 1/3 for the forward pass,
+        2/3 for backward) so split phases sum to one batch on average.
+        """
+        self._check_worker(worker)
+        if fraction <= 0:
+            raise ValueError("fraction must be positive")
+        rng = self._rngs[worker]
+        jitter = 1.0
+        if self.jitter_sigma > 0:
+            jitter = float(rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+        return (
+            self.mean_batch_time
+            * fraction
+            * self._factors[worker]
+            * jitter
+            * self.straggler.factor(rng)
+        )
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range [0, {self.num_workers})")

@@ -1,0 +1,91 @@
+"""Structured trace of a distributed-training run.
+
+The trace is what the evaluation reads back: staleness distributions
+(Figures 2-3 context), worker finishing order (Figure 8), and virtual-time
+series (Figures 4 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded cluster event."""
+
+    time: float
+    kind: str  # "pull", "state", "compensation", "gradient", "update", "barrier"
+    worker: int
+    version: int = -1  # server model version at event time
+    staleness: int = -1  # gradient events: server updates since the pull
+    value: float = 0.0  # kind-specific payload (loss, k, duration, ...)
+
+
+class ClusterTrace:
+    """Append-only event log with summary queries."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        worker: int,
+        version: int = -1,
+        staleness: int = -1,
+        value: float = 0.0,
+    ) -> None:
+        """Append one event."""
+        self.events.append(
+            TraceEvent(
+                time=float(time),
+                kind=kind,
+                worker=int(worker),
+                version=int(version),
+                staleness=int(staleness),
+                value=float(value),
+            )
+        )
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of a given kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def staleness_values(self) -> np.ndarray:
+        """Staleness of every applied gradient."""
+        return np.array(
+            [e.staleness for e in self.events if e.kind == "update" and e.staleness >= 0],
+            dtype=np.int64,
+        )
+
+    def staleness_stats(self) -> Dict[str, float]:
+        """Mean/median/max staleness over all applied gradients."""
+        values = self.staleness_values()
+        if values.size == 0:
+            return {"mean": 0.0, "median": 0.0, "max": 0.0, "count": 0.0}
+        return {
+            "mean": float(values.mean()),
+            "median": float(np.median(values)),
+            "max": float(values.max()),
+            "count": float(values.size),
+        }
+
+    def finishing_order(self) -> List[int]:
+        """Worker ids in the order their gradients landed (Figure 8's x-axis)."""
+        return [e.worker for e in self.events if e.kind == "update"]
+
+    def updates_per_worker(self) -> Dict[int, int]:
+        """Number of applied gradients per worker."""
+        counts: Dict[int, int] = {}
+        for e in self.events:
+            if e.kind == "update":
+                counts[e.worker] = counts.get(e.worker, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,29 @@
+"""Asynchronous SGD (Formula 2): apply stale gradients as they arrive."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import UpdateRule
+from repro.core.state import GradientPayload
+
+
+class ASGDRule(UpdateRule):
+    """``w_{t+tau+1} <- w_{t+tau} - lr g_m`` — no compensation at all.
+
+    The staleness ``tau`` is implicit: the gradient was computed against
+    ``pull_version`` but lands on the current version.  This is the rule
+    whose degradation with worker count motivates the paper.
+    """
+
+    name = "asgd"
+
+    def apply_gradient(
+        self,
+        params: np.ndarray,
+        payload: GradientPayload,
+        lr: float,
+        version: int,
+    ) -> bool:
+        self._sgd_step(params, payload.grad, lr)
+        return True

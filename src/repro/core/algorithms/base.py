@@ -1,0 +1,71 @@
+"""Update-rule interface.
+
+A rule owns the *server-side* mathematics of one algorithm: what happens
+when a worker pulls (DC-ASGD snapshots a backup model) and when a gradient
+lands (plain apply, barrier-averaged apply, or compensated apply).  The
+parameter vector itself lives on the :class:`~repro.core.server.ParameterServer`;
+rules mutate it in place through the reference they are given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.state import GradientPayload
+
+
+class UpdateRule:
+    """Base class for server-side update rules.
+
+    All rules share classical-momentum bookkeeping (``momentum=0`` disables
+    it).  The paper trains its networks "following [8]" (He et al. 2016),
+    whose recipe is SGD with momentum 0.9 — and momentum is also what makes
+    gradient staleness damaging in the first place, since a stale direction
+    compounds through the velocity.  The velocity lives on the server, as in
+    standard parameter-server implementations.
+    """
+
+    name = "base"
+    #: True when the worker must wait for an ``l_delay`` reply before
+    #: computing its gradient (only LC-ASGD).
+    requires_compensation = False
+
+    def __init__(self, momentum: float = 0.0) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Optional[np.ndarray] = None
+
+    def _sgd_step(self, params: np.ndarray, grad: np.ndarray, lr: float) -> None:
+        """In-place (momentum-)SGD update shared by every rule."""
+        if self.momentum == 0.0:
+            params -= lr * grad
+            return
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        self._velocity *= self.momentum
+        self._velocity += grad
+        params -= lr * self._velocity
+
+    def on_pull(self, worker: int, version: int, params: np.ndarray) -> None:
+        """Hook invoked when ``worker`` pulls ``params`` at ``version``."""
+
+    def apply_gradient(
+        self,
+        params: np.ndarray,
+        payload: GradientPayload,
+        lr: float,
+        version: int,
+    ) -> bool:
+        """Fold one gradient into ``params`` (in place).
+
+        Returns True when the global model version advanced (ASGD-family
+        rules always advance; SSGD advances once per complete round).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (between runs)."""
+        self._velocity = None

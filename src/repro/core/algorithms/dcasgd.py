@@ -1,0 +1,82 @@
+"""DC-ASGD (Zheng et al., 2017) — the paper's strongest baseline.
+
+Formula 3::
+
+    w_{t+tau+1} <- w_{t+tau} - lr (g_m + lambda_t g_m ⊙ g_m ⊙ (w_t - w_bak(m)))
+
+``w_bak(m)`` is the server's snapshot of the parameters worker ``m`` pulled;
+``g ⊙ g ⊙ (w - w_bak)`` is the cheap diagonal-Hessian approximation of the
+delay's first-order effect.  The adaptive variant rescales ``lambda_t`` by
+the running gradient magnitude (DC-ASGD-a in the original paper), which
+keeps the compensation proportionate as the loss scale decays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.algorithms.base import UpdateRule
+from repro.core.state import GradientPayload
+
+
+class DCASGDRule(UpdateRule):
+    """Delay-compensated ASGD with constant or magnitude-adaptive lambda."""
+
+    name = "dc-asgd"
+
+    def __init__(
+        self,
+        lambda0: float = 0.04,
+        adaptive: bool = True,
+        ema_decay: float = 0.05,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(momentum=momentum)
+        if lambda0 < 0:
+            raise ValueError("lambda0 must be >= 0")
+        if not 0 < ema_decay <= 1:
+            raise ValueError("ema_decay must be in (0, 1]")
+        self.lambda0 = float(lambda0)
+        self.adaptive = bool(adaptive)
+        self.ema_decay = float(ema_decay)
+        self._backups: Dict[int, np.ndarray] = {}
+        self._grad_sq_ema: Optional[float] = None
+
+    def on_pull(self, worker: int, version: int, params: np.ndarray) -> None:
+        """Snapshot ``w_bak(m)`` (Formula 3's backup model)."""
+        self._backups[worker] = params.copy()
+
+    def _lambda_t(self, grad: np.ndarray) -> float:
+        if not self.adaptive:
+            return self.lambda0
+        mean_sq = float(np.mean(grad * grad))
+        if self._grad_sq_ema is None:
+            self._grad_sq_ema = mean_sq
+        else:
+            d = self.ema_decay
+            self._grad_sq_ema = (1 - d) * self._grad_sq_ema + d * mean_sq
+        return self.lambda0 / np.sqrt(self._grad_sq_ema + 1e-12)
+
+    def apply_gradient(
+        self,
+        params: np.ndarray,
+        payload: GradientPayload,
+        lr: float,
+        version: int,
+    ) -> bool:
+        backup = self._backups.get(payload.worker)
+        grad = payload.grad
+        if backup is None:
+            self._sgd_step(params, grad, lr)  # first gradient: nothing to compensate
+            return True
+        lam = self._lambda_t(grad)
+        compensation = grad * grad * (params - backup)
+        self._sgd_step(params, grad + lam * compensation, lr)
+        return True
+
+    def reset(self) -> None:
+        super().reset()
+        self._backups.clear()
+        self._grad_sq_ema = None

@@ -1,0 +1,41 @@
+"""Staleness-aware ASGD — an extra baseline from the surrounding literature.
+
+Not in the paper's evaluation, but the standard non-predictive comparator
+for LC-ASGD's mechanism (Zhang et al., "Staleness-aware async-SGD", IJCAI
+2016): scale each gradient's learning rate by ``1 / (1 + staleness)``.  It
+needs the *realized* staleness at landing time (information LC-ASGD's step
+predictor must forecast), so comparing the two isolates the value of
+prediction: SA-ASGD is LC-ASGD with a perfect step oracle and a trivial
+loss model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import UpdateRule
+from repro.core.state import GradientPayload
+
+
+class StalenessAwareASGDRule(UpdateRule):
+    """``w <- w - lr/(1 + tau) * g`` with the realized staleness ``tau``."""
+
+    name = "sa-asgd"
+
+    def __init__(self, momentum: float = 0.0, exponent: float = 1.0) -> None:
+        super().__init__(momentum=momentum)
+        if exponent < 0:
+            raise ValueError("exponent must be >= 0")
+        self.exponent = float(exponent)
+
+    def apply_gradient(
+        self,
+        params: np.ndarray,
+        payload: GradientPayload,
+        lr: float,
+        version: int,
+    ) -> bool:
+        staleness = max(version - payload.pull_version, 0)
+        scale = 1.0 / (1.0 + staleness) ** self.exponent
+        self._sgd_step(params, payload.grad * scale, lr)
+        return True

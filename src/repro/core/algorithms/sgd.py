@@ -1,0 +1,29 @@
+"""Sequential single-machine SGD — the paper's accuracy baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import UpdateRule
+from repro.core.state import GradientPayload
+
+
+class SequentialSGDRule(UpdateRule):
+    """Plain ``w <- w - lr g`` with exactly one worker and no staleness.
+
+    In the simulator this is the degenerate cluster: one worker, zero
+    communication cost, so the "distributed" run is numerically identical
+    to a single-machine training loop.
+    """
+
+    name = "sgd"
+
+    def apply_gradient(
+        self,
+        params: np.ndarray,
+        payload: GradientPayload,
+        lr: float,
+        version: int,
+    ) -> bool:
+        self._sgd_step(params, payload.grad, lr)
+        return True

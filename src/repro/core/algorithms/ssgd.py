@@ -1,0 +1,55 @@
+"""Synchronous SGD (Formula 1): barrier-averaged gradients."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.algorithms.base import UpdateRule
+from repro.core.state import GradientPayload
+
+
+class SSGDRule(UpdateRule):
+    """Accumulate one gradient per worker, then apply the average.
+
+    The version advances once per complete round; workers that pull before
+    the round completes are queued by the server (the synchronization
+    barrier whose cost shows up in the wall-clock figures).
+    """
+
+    name = "ssgd"
+
+    def __init__(self, num_workers: int, momentum: float = 0.0) -> None:
+        super().__init__(momentum=momentum)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self._pending: Dict[int, np.ndarray] = {}
+
+    def round_contributed(self, worker: int) -> bool:
+        """Whether ``worker`` already submitted a gradient this round."""
+        return worker in self._pending
+
+    def apply_gradient(
+        self,
+        params: np.ndarray,
+        payload: GradientPayload,
+        lr: float,
+        version: int,
+    ) -> bool:
+        if payload.worker in self._pending:
+            raise RuntimeError(
+                f"worker {payload.worker} submitted twice in one synchronous round"
+            )
+        self._pending[payload.worker] = payload.grad
+        if len(self._pending) < self.num_workers:
+            return False
+        mean_grad = np.mean(list(self._pending.values()), axis=0)
+        self._sgd_step(params, mean_grad, lr)
+        self._pending.clear()
+        return True
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending.clear()

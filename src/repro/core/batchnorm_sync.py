@@ -1,0 +1,96 @@
+"""Server-side batch-normalization statistic aggregation.
+
+The paper compares two policies (Section 5.3):
+
+* **replace-BN** ("regular BN" in Table 1): "the parameter server replaces
+  the mean and variance of all BN layers using the parameter values
+  received from the latest worker."
+* **Async-BN** (Formulas 6-7): exponential accumulation
+  ``E_z <- (1-d) E_z + d mean_z``, ``Var_z <- (1-d) Var_z + d var_z``
+  across all workers, giving every worker consistent statistics.
+
+Strategies hold the global per-layer ``(E, Var)`` initialized to
+``E=0, Var=1`` (Algorithm 2's Initialize line).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import BnStats
+
+
+class BnSyncStrategy:
+    """Interface: fold worker batch statistics into global running stats."""
+
+    name = "base"
+
+    def __init__(self, feature_sizes: Sequence[int]) -> None:
+        self.feature_sizes = tuple(int(s) for s in feature_sizes)
+        self._means: List[np.ndarray] = [np.zeros(s, dtype=np.float64) for s in self.feature_sizes]
+        self._vars: List[np.ndarray] = [np.ones(s, dtype=np.float64) for s in self.feature_sizes]
+
+    def update(self, stats: BnStats) -> None:
+        """Fold one worker's per-layer ``(mean, var)`` payload."""
+        raise NotImplementedError
+
+    def current(self) -> BnStats:
+        """Copy of the current global ``(E, Var)`` per layer."""
+        return [(m.copy(), v.copy()) for m, v in zip(self._means, self._vars)]
+
+    def _check(self, stats: BnStats) -> None:
+        if len(stats) != len(self.feature_sizes):
+            raise ValueError(
+                f"expected {len(self.feature_sizes)} BN layers, payload has {len(stats)}"
+            )
+        for i, (mean, var) in enumerate(stats):
+            if np.asarray(mean).shape != (self.feature_sizes[i],):
+                raise ValueError(f"layer {i}: mean shape mismatch")
+            if np.asarray(var).shape != (self.feature_sizes[i],):
+                raise ValueError(f"layer {i}: var shape mismatch")
+
+
+class ReplaceBn(BnSyncStrategy):
+    """Regular BN: overwrite globals with the latest worker's statistics."""
+
+    name = "replace"
+
+    def update(self, stats: BnStats) -> None:
+        self._check(stats)
+        for i, (mean, var) in enumerate(stats):
+            self._means[i] = np.asarray(mean, dtype=np.float64).copy()
+            self._vars[i] = np.asarray(var, dtype=np.float64).copy()
+
+
+class AsyncBn(BnSyncStrategy):
+    """Async-BN: exponential accumulation across workers (Formulas 6-7)."""
+
+    name = "async"
+
+    def __init__(self, feature_sizes: Sequence[int], decay: float = 0.2) -> None:
+        super().__init__(feature_sizes)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = float(decay)
+
+    def update(self, stats: BnStats) -> None:
+        self._check(stats)
+        d = self.decay
+        for i, (mean, var) in enumerate(stats):
+            self._means[i] = (1 - d) * self._means[i] + d * np.asarray(mean, dtype=np.float64)
+            self._vars[i] = (1 - d) * self._vars[i] + d * np.asarray(var, dtype=np.float64)
+
+
+def make_bn_strategy(
+    mode: str, feature_sizes: Sequence[int], decay: float = 0.2
+) -> Optional[BnSyncStrategy]:
+    """Build the strategy for ``mode`` (``local`` returns None: no syncing)."""
+    if mode == "local":
+        return None
+    if mode == "replace":
+        return ReplaceBn(feature_sizes)
+    if mode == "async":
+        return AsyncBn(feature_sizes, decay=decay)
+    raise ValueError(f"unknown bn_mode {mode!r}")

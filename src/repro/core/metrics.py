@@ -1,0 +1,143 @@
+"""Run results: learning curves, staleness stats, predictor accuracy.
+
+The fields map onto the paper's evaluation artifacts:
+
+* ``curve`` — (epoch, virtual seconds, train/test error+loss) points, the
+  raw material of Figures 3-6;
+* ``final_test_error`` + :func:`degradation` — Table 1;
+* ``loss_prediction_pairs`` / ``step_prediction_pairs`` — Figures 7-8;
+* ``timers`` — the per-iteration predictor overhead of Tables 2-3;
+* ``staleness`` — the delay distribution that motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One evaluation snapshot during training."""
+
+    epoch: int
+    time: float  # virtual seconds
+    train_error: float
+    train_loss: float
+    test_error: float
+    test_loss: float
+
+
+@dataclass
+class RunResult:
+    """Everything one distributed-training run produced."""
+
+    algorithm: str
+    num_workers: int
+    bn_mode: str
+    curve: List[CurvePoint] = field(default_factory=list)
+    staleness: Dict[str, float] = field(default_factory=dict)
+    loss_prediction_pairs: List[Tuple[float, float]] = field(default_factory=list)
+    step_prediction_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    finishing_order: List[int] = field(default_factory=list)
+    timers: Dict[str, float] = field(default_factory=dict)  # mean ms per call
+    total_updates: int = 0
+    total_virtual_time: float = 0.0
+    seed: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def final_test_error(self) -> float:
+        """Test error at the last evaluation point."""
+        if not self.curve:
+            raise ValueError("run has no evaluation points")
+        return self.curve[-1].test_error
+
+    @property
+    def final_train_error(self) -> float:
+        """Train error at the last evaluation point."""
+        if not self.curve:
+            raise ValueError("run has no evaluation points")
+        return self.curve[-1].train_error
+
+    @property
+    def best_test_error(self) -> float:
+        """Minimum test error over the run."""
+        if not self.curve:
+            raise ValueError("run has no evaluation points")
+        return min(p.test_error for p in self.curve)
+
+    def epochs(self) -> np.ndarray:
+        """Epoch axis of the curve."""
+        return np.array([p.epoch for p in self.curve])
+
+    def times(self) -> np.ndarray:
+        """Virtual-seconds axis of the curve."""
+        return np.array([p.time for p in self.curve])
+
+    def series(self, name: str) -> np.ndarray:
+        """A named curve series: train_error, test_error, train_loss, test_loss."""
+        if name not in ("train_error", "test_error", "train_loss", "test_loss"):
+            raise ValueError(f"unknown series {name!r}")
+        return np.array([getattr(p, name) for p in self.curve])
+
+    def loss_prediction_error(self) -> float:
+        """Mean |predicted - actual| of the loss predictor (Figure 7 metric)."""
+        if not self.loss_prediction_pairs:
+            return float("nan")
+        arr = np.array(self.loss_prediction_pairs, dtype=np.float64)
+        return float(np.abs(arr[:, 1] - arr[:, 0]).mean())
+
+    def step_prediction_error(self) -> float:
+        """Mean |predicted - actual| of the step predictor (Figure 8 metric)."""
+        if not self.step_prediction_pairs:
+            return float("nan")
+        arr = np.array(self.step_prediction_pairs, dtype=np.float64)
+        return float(np.abs(arr[:, 1] - arr[:, 0]).mean())
+
+
+def degradation(error: float, baseline_error: float) -> float:
+    """Table 1's "Perf. Deg. (%)": relative error increase over the baseline."""
+    if baseline_error <= 0:
+        raise ValueError("baseline error must be positive")
+    return 100.0 * (error - baseline_error) / baseline_error
+
+
+def evaluate_model(
+    model: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int = 256,
+) -> Tuple[float, float]:
+    """Error rate and mean loss of ``model`` on a labelled array pair.
+
+    Runs in eval mode (BN uses running statistics) with gradients disabled.
+    Returns ``(error, loss)`` where error is ``1 - accuracy``.
+    """
+    if len(inputs) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    was_training = model.training
+    model.eval()
+    correct = 0
+    loss_sum = 0.0
+    try:
+        with no_grad():
+            for start in range(0, len(inputs), batch_size):
+                xb = inputs[start : start + batch_size]
+                yb = targets[start : start + batch_size]
+                logits = model(Tensor(xb))
+                loss = F.cross_entropy(logits, yb, reduction="sum")
+                loss_sum += float(loss.data)
+                correct += int((logits.data.argmax(axis=1) == yb).sum())
+    finally:
+        if was_training:
+            model.train()
+    n = len(inputs)
+    return 1.0 - correct / n, loss_sum / n

@@ -1,0 +1,51 @@
+"""Server-side online predictors (Algorithms 3-4) and ablation baselines."""
+
+from repro.core.predictors.base import LossPredictorBase, StepPredictorBase
+from repro.core.predictors.baselines import (
+    EMALossPredictor,
+    EMAStepPredictor,
+    LastValueLossPredictor,
+    LastValueStepPredictor,
+    LinearTrendLossPredictor,
+)
+from repro.core.predictors.loss_predictor import LSTMLossPredictor
+from repro.core.predictors.step_predictor import LSTMStepPredictor
+
+__all__ = [
+    "LossPredictorBase",
+    "StepPredictorBase",
+    "LSTMLossPredictor",
+    "LSTMStepPredictor",
+    "EMALossPredictor",
+    "LastValueLossPredictor",
+    "LinearTrendLossPredictor",
+    "EMAStepPredictor",
+    "LastValueStepPredictor",
+    "make_loss_predictor",
+    "make_step_predictor",
+]
+
+
+def make_loss_predictor(variant: str, **kwargs) -> LossPredictorBase:
+    """Factory over loss-predictor variants (``lstm`` is the paper's)."""
+    variants = {
+        "lstm": LSTMLossPredictor,
+        "ema": EMALossPredictor,
+        "last": LastValueLossPredictor,
+        "linear": LinearTrendLossPredictor,
+    }
+    if variant not in variants:
+        raise ValueError(f"unknown loss predictor {variant!r}; options {sorted(variants)}")
+    return variants[variant](**kwargs)
+
+
+def make_step_predictor(variant: str, **kwargs) -> StepPredictorBase:
+    """Factory over step-predictor variants (``lstm`` is the paper's)."""
+    variants = {
+        "lstm": LSTMStepPredictor,
+        "ema": EMAStepPredictor,
+        "last": LastValueStepPredictor,
+    }
+    if variant not in variants:
+        raise ValueError(f"unknown step predictor {variant!r}; options {sorted(variants)}")
+    return variants[variant](**kwargs)

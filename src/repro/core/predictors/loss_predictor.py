@@ -1,0 +1,155 @@
+"""Algorithm 3: the online LSTM loss predictor.
+
+Architecture per Section 4.3: two LSTM layers followed by a linear layer
+(hidden size 64 in the paper's CIFAR experiments).  The model is trained
+online on the parameter server: every arriving loss is the label for the
+previous window, and ``l_delay`` is the sum of the ``k``-step autoregressive
+rollout (Formula 9).
+
+Inputs/outputs are z-normalized with streaming statistics; the raw loss
+scale drifts over two orders of magnitude during training, which an
+un-normalized LSTM tracks poorly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.predictors.base import LossPredictorBase, _RunningNorm
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.rnn import LSTM
+from repro.optim.sgd import SGD
+from repro.tensor import functional as F
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, as_generator
+
+
+class _SeriesModel(Module):
+    """Two LSTM layers + linear head over scalar series (shared by Alg. 3/4)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.lstm = LSTM(input_size, hidden_size, num_layers=2, rng=rng)
+        self.head = Linear(hidden_size, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map (N, T, input_size) to (N, T, 1) per-step forecasts."""
+        outs, _ = self.lstm(x)
+        n, t, h = outs.data.shape
+        flat = outs.reshape(n * t, h)
+        return self.head(flat).reshape(n, t, 1)
+
+    def rollout(self, window: np.ndarray, k: int) -> List[float]:
+        """Autoregressive ``k``-step forecast from a (T,) normalized window."""
+        with no_grad():
+            state = None
+            seq = Tensor(window.reshape(1, -1, 1).astype(np.float32))
+            outs, state = self.lstm(seq)
+            last_hidden = outs[:, -1, :]
+            preds: List[float] = []
+            next_in = self.head(last_hidden)
+            preds.append(float(next_in.data[0, 0]))
+            for _ in range(k - 1):
+                step_in = next_in.reshape(1, 1, 1)
+                outs, state = self.lstm(step_in, state)
+                next_in = self.head(outs[:, -1, :])
+                preds.append(float(next_in.data[0, 0]))
+        return preds
+
+
+class LSTMLossPredictor(LossPredictorBase):
+    """The paper's loss predictor (two LSTM layers + linear, trained online).
+
+    Parameters
+    ----------
+    hidden_size:
+        LSTM width (paper: 64).
+    window:
+        History length fed per online-training step.
+    lr, momentum:
+        Online-SGD hyper-parameters for the predictor itself.
+    train_every:
+        Train once per this many observations (1 = every arrival, as in the
+        paper; larger values trade accuracy for server overhead).
+    seed:
+        Determinism root for weight init.
+    """
+
+    name = "lstm"
+
+    def __init__(
+        self,
+        hidden_size: int = 64,
+        window: int = 16,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        train_every: int = 1,
+        rollout_cap: int = 32,
+        seed: SeedLike = 0,
+    ) -> None:
+        if hidden_size <= 0 or window < 2:
+            raise ValueError("hidden_size must be > 0 and window >= 2")
+        if train_every < 1 or rollout_cap < 1:
+            raise ValueError("train_every and rollout_cap must be >= 1")
+        rng = as_generator(seed, "loss-predictor")
+        self.model = _SeriesModel(1, hidden_size, rng)
+        self.optimizer = SGD(self.model.parameters(), lr=lr, momentum=momentum, max_grad_norm=1.0)
+        self.window = int(window)
+        self.train_every = int(train_every)
+        self.rollout_cap = int(rollout_cap)
+        self._history: Deque[float] = deque(maxlen=window + 1)
+        self._norm = _RunningNorm()
+        self._observed = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, loss: float) -> None:
+        """Algorithm 3, line 1: one online step with (prev window -> loss)."""
+        loss = float(loss)
+        self._norm.update(loss)
+        self._history.append(self._norm.normalize(loss))
+        self._observed += 1
+        if len(self._history) < 3 or self._observed % self.train_every:
+            return
+        series = np.array(self._history, dtype=np.float32)
+        inputs = series[:-1].reshape(1, -1, 1)
+        targets = series[1:].reshape(1, -1, 1)
+        pred = self.model(Tensor(inputs))
+        loss_t = F.mse_loss(pred, targets)
+        self.optimizer.zero_grad()
+        loss_t.backward()
+        self.optimizer.step()
+
+    def predict_next(self) -> Optional[float]:
+        """One-step forecast in raw loss units (None before warm-up)."""
+        if len(self._history) < 2:
+            return None
+        window = np.array(self._history, dtype=np.float64)
+        z = self.model.rollout(window, 1)[0]
+        return self._norm.denormalize(z)
+
+    def predict_delay(self, loss: float, k: int) -> float:
+        """Formula 9: sum of the ``k`` rollout forecasts after ``loss``.
+
+        Rollouts are capped at ``rollout_cap`` steps (CPU cost is linear in
+        the rollout length); beyond the cap the tail is extrapolated at the
+        last predicted level, which is also where autoregressive LSTM
+        forecasts flatten anyway.
+        """
+        if k <= 0:
+            return 0.0
+        if len(self._history) < 2:
+            # Cold start: flat forecast, as good as any before data arrives.
+            return float(loss) * k
+        steps = min(int(k), self.rollout_cap)
+        window = list(self._history)[-(self.window - 1) :] + [self._norm.normalize(float(loss))]
+        preds = self.model.rollout(np.array(window, dtype=np.float64), steps)
+        values = [self._norm.denormalize(z) for z in preds]
+        total = float(sum(values))
+        if k > steps:
+            total += values[-1] * (k - steps)
+        return total

@@ -1,0 +1,431 @@
+"""The DistributedTrainer: wires Algorithms 1-4 into the cluster simulator.
+
+Execution model (DESIGN.md §5): real mathematics runs inside virtual-time
+event callbacks.  One worker cycle is
+
+1. **pull request** — worker -> server (small message up the link);
+2. **pull reply** — server -> worker (full model down the link);
+   ``t_comm`` = reply arrival minus request issue (Algorithm 1, line 3);
+3. **forward** — real forward pass; virtual duration is 1/3 of the
+   worker's sampled batch time;
+4. **state push** — ``state_m`` up the link (loss + BN stats + costs);
+5. *(LC-ASGD only)* **compensation reply** — the server's ``l_delay``
+   travels back down before backward can start (the extra round trip whose
+   cost appears in the wall-clock figures);
+6. **backward** — real backward pass (seeded with the compensation);
+   virtual duration is 2/3 of the batch time; the worker then immediately
+   begins its next cycle (it never waits for the server to apply);
+7. **gradient push** — gradient up the link; the server applies the
+   update rule, advancing the version.
+
+For the non-LC algorithms, steps 4-6 fuse: state and gradient travel
+together and no reply is awaited.  SSGD additionally queues pulls at the
+server until the round's barrier closes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.network import LinkModel, NetworkModel
+from repro.cluster.node import ComputeModel, StragglerModel
+from repro.cluster.simulator import Simulator
+from repro.cluster.trace import ClusterTrace
+from repro.core.algorithms import make_update_rule
+from repro.core.batchnorm_sync import make_bn_strategy
+from repro.core.config import TrainingConfig
+from repro.core.metrics import CurvePoint, RunResult, evaluate_model
+from repro.core.predictors import make_loss_predictor, make_step_predictor
+from repro.core.server import ParameterServer
+from repro.core.state import CompensationReply, GradientPayload, WorkerState
+from repro.core.worker import DistributedWorker
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SyntheticCIFAR10, SyntheticImageNet, make_spirals
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, get_flat_params
+from repro.nn.norm import bn_layers, load_bn_running_stats
+from repro.nn.resnet import resnet18, resnet50, resnet_tiny
+from repro.optim.lr_scheduler import MultiStepLR
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngTree
+from repro.utils.timer import Timer
+
+logger = get_logger("core.trainer")
+
+_REQUEST_BYTES = 256  # pull request / small control messages
+_STATE_OVERHEAD_BYTES = 1024  # loss + costs; BN stats added per feature
+
+
+def build_dataset(config: TrainingConfig) -> Tuple[ArrayDataset, ArrayDataset, int]:
+    """Return (train, test, num_classes) for the configured dataset."""
+    kwargs = dict(config.dataset_kwargs)
+    kwargs.setdefault("seed", config.seed)
+    if config.dataset == "cifar":
+        bundle = SyntheticCIFAR10(**kwargs)
+        return bundle.train, bundle.test, SyntheticCIFAR10.num_classes
+    if config.dataset == "imagenet":
+        bundle = SyntheticImageNet(**kwargs)
+        return bundle.train, bundle.test, SyntheticImageNet.num_classes
+    if config.dataset == "spirals":
+        kwargs.setdefault("num_samples", 600)
+        num_classes = kwargs.pop("num_classes", 3)
+        test_size = kwargs.pop("test_size", max(1, kwargs["num_samples"] // 5))
+        full = make_spirals(num_classes=num_classes, **kwargs)
+        train = full.subset(np.arange(len(full) - test_size))
+        test = full.subset(np.arange(len(full) - test_size, len(full)))
+        return train, test, num_classes
+    raise ValueError(f"unknown dataset {config.dataset!r}")
+
+
+def build_model(config: TrainingConfig, input_shape: Tuple[int, ...], num_classes: int) -> Module:
+    """Build one model replica with init seeded by ``config.seed``.
+
+    Every call returns an identically initialized model (fresh RngTree from
+    the same seed), which is how all replicas and the server start from
+    "the same randomly initialized model" (Section 5).
+    """
+    rng = RngTree(config.seed).child("model-init").generator("weights")
+    kwargs = dict(config.model_kwargs)
+    if config.model == "mlp":
+        input_dim = int(np.prod(input_shape))
+        hidden = tuple(kwargs.pop("hidden", (64,)))
+        batch_norm = kwargs.pop("batch_norm", True)
+        if kwargs:
+            raise ValueError(f"unknown mlp kwargs {sorted(kwargs)}")
+        return MLP((input_dim, *hidden, num_classes), batch_norm=batch_norm, rng=rng)
+    if config.model in ("resnet18", "resnet50", "resnet_tiny"):
+        factory = {"resnet18": resnet18, "resnet50": resnet50, "resnet_tiny": resnet_tiny}[config.model]
+        in_channels = input_shape[0] if len(input_shape) == 3 else 3
+        return factory(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+    raise ValueError(f"unknown model {config.model!r}")
+
+
+class DistributedTrainer:
+    """Run one configured experiment end to end and return a RunResult."""
+
+    def __init__(self, config: TrainingConfig) -> None:
+        self.config = config
+        self.rng_tree = RngTree(config.seed)
+        self.timer = Timer()
+        self.trace = ClusterTrace()
+
+        self.train_set, self.test_set, self.num_classes = build_dataset(config)
+        input_shape = self.train_set.input_shape
+
+        # model replicas (identical init) ------------------------------------------------
+        self.eval_model = build_model(config, input_shape, self.num_classes)
+        self.workers: List[DistributedWorker] = []
+        for m in range(config.num_workers):
+            model = build_model(config, input_shape, self.num_classes)
+            loader = DataLoader(
+                self.train_set,
+                config.batch_size,
+                shuffle=True,
+                seed=self.rng_tree.child(f"worker-{m}").generator("batches"),
+            )
+            self.workers.append(
+                DistributedWorker(m, model, loader, collect_bn=config.bn_mode != "local")
+            )
+
+        # server --------------------------------------------------------------------------
+        iters_per_epoch = max(1, int(np.ceil(len(self.train_set) / config.batch_size)))
+        self.iters_per_epoch = iters_per_epoch
+        if config.max_updates is not None:
+            self.total_updates = int(config.max_updates)
+        else:
+            self.total_updates = config.epochs * iters_per_epoch
+
+        feature_sizes = [layer.num_features for layer in bn_layers(self.eval_model)]
+        bn_strategy = make_bn_strategy(config.bn_mode, feature_sizes, decay=config.bn_decay)
+
+        loss_predictor = step_predictor = None
+        if config.algorithm == "lc-asgd":
+            p = config.predictor
+            pred_seed = self.rng_tree.child("predictors").seed
+            loss_kwargs = {}
+            step_kwargs = {"max_step": max(4 * config.num_workers, 8)}
+            if p.loss_variant == "lstm":
+                loss_kwargs = dict(
+                    hidden_size=p.loss_hidden, window=p.loss_window,
+                    lr=p.lr, momentum=p.momentum, train_every=p.train_every, seed=pred_seed,
+                )
+            elif p.loss_variant == "linear":
+                loss_kwargs = dict(window=p.loss_window)
+            if p.step_variant == "lstm":
+                step_kwargs.update(
+                    hidden_size=p.step_hidden, window=p.step_window,
+                    lr=p.lr, momentum=p.momentum, train_every=p.train_every, seed=pred_seed,
+                )
+            loss_predictor = make_loss_predictor(p.loss_variant, **loss_kwargs)
+            step_predictor = make_step_predictor(p.step_variant, **step_kwargs)
+
+        rule = make_update_rule(
+            config.algorithm,
+            num_workers=config.num_workers,
+            momentum=config.momentum,
+            dc_lambda=config.dc_lambda,
+            dc_adaptive=config.dc_adaptive,
+        )
+        schedule = MultiStepLR(config.base_lr, config.lr_milestones, config.lr_gamma)
+        init_params = get_flat_params(self.workers[0].model)
+        self.server = ParameterServer(
+            init_params,
+            rule,
+            schedule,
+            iters_per_epoch,
+            bn_strategy=bn_strategy,
+            loss_predictor=loss_predictor,
+            step_predictor=step_predictor,
+            lc_lambda=config.lc_lambda,
+            compensation=config.compensation,
+            timer=self.timer,
+        )
+        self.model_bytes = init_params.size * 4  # float32 wire format
+        bn_payload = sum(2 * s * 4 for s in feature_sizes)
+        self.state_bytes = _STATE_OVERHEAD_BYTES + (bn_payload if config.bn_mode != "local" else 0)
+
+        # cluster --------------------------------------------------------------------------
+        cl = config.cluster
+        sequential = config.algorithm == "sgd"
+        self.compute = ComputeModel(
+            config.num_workers,
+            mean_batch_time=cl.mean_batch_time,
+            heterogeneity=0.0 if sequential else cl.compute_heterogeneity,
+            jitter_sigma=0.0 if sequential else cl.compute_jitter,
+            straggler=StragglerModel(cl.straggler_probability, cl.straggler_slowdown),
+            seed=self.rng_tree.child("compute"),
+        )
+        link = LinkModel(
+            base_latency=0.0 if sequential else cl.link_latency,
+            bandwidth=cl.link_bandwidth,
+            jitter_sigma=0.0 if sequential else cl.link_jitter,
+        )
+        self.network = NetworkModel(
+            config.num_workers,
+            link=link,
+            heterogeneity=0.0 if sequential else cl.network_heterogeneity,
+            seed=self.rng_tree.child("network"),
+        )
+
+        self.sim = Simulator()
+        self._curve: List[CurvePoint] = []
+        self._last_eval_epoch = -1
+        self._eval_indices = self._pick_eval_indices()
+
+    # ------------------------------------------------------------------ #
+    def _pick_eval_indices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fixed train/test evaluation subsets (same across all epochs)."""
+        rng = self.rng_tree.child("eval").generator("subsets")
+        n_train = min(self.config.eval_train_samples, len(self.train_set))
+        n_test = min(self.config.eval_test_samples, len(self.test_set))
+        train_idx = rng.permutation(len(self.train_set))[:n_train]
+        test_idx = rng.permutation(len(self.test_set))[:n_test]
+        return np.sort(train_idx), np.sort(test_idx)
+
+    def _sync_eval_model(self) -> None:
+        """Install the server's weights + the appropriate BN stats for eval."""
+        from repro.nn.module import set_flat_params
+
+        set_flat_params(self.eval_model, self.server.params)
+        if self.server.bn_strategy is not None:
+            load_bn_running_stats(self.eval_model, self.server.bn_strategy.current())
+        else:  # local mode: sequential SGD's own running statistics
+            source_layers = bn_layers(self.workers[0].model)
+            stats = [(l.running_mean.copy(), l.running_var.copy()) for l in source_layers]
+            load_bn_running_stats(self.eval_model, stats)
+
+    def _evaluate(self) -> CurvePoint:
+        """One evaluation snapshot at the current virtual time."""
+        self._sync_eval_model()
+        train_idx, test_idx = self._eval_indices
+        train_err, train_loss = evaluate_model(
+            self.eval_model, self.train_set.inputs[train_idx], self.train_set.targets[train_idx]
+        )
+        test_err, test_loss = evaluate_model(
+            self.eval_model, self.test_set.inputs[test_idx], self.test_set.targets[test_idx]
+        )
+        return CurvePoint(
+            epoch=self.server.epoch,
+            time=self.sim.now,
+            train_error=train_err,
+            train_loss=train_loss,
+            test_error=test_err,
+            test_loss=test_loss,
+        )
+
+    # ------------------------------------------------------------------ #
+    # event handlers (the cycle of the module docstring)
+    # ------------------------------------------------------------------ #
+    def _begin_cycle(self, m: int) -> None:
+        if self.server.batches_processed >= self.total_updates:
+            return
+        t0 = self.sim.now
+        up = self.network.transfer_time(m, _REQUEST_BYTES)
+        self.sim.schedule(up, lambda: self._server_pull(m, t0), label=f"pull-req-{m}")
+
+    def _server_pull(self, m: int, t0: float) -> None:
+        weights = self.server.handle_pull(m, request_time=t0)
+        self.trace.record(self.sim.now, "pull", m, version=self.server.version)
+        if weights is None:
+            return  # queued behind the SSGD barrier
+        self._send_weights(m, t0, weights)
+
+    def _send_weights(self, m: int, t0: float, weights: np.ndarray) -> None:
+        down = self.network.transfer_time(m, self.model_bytes)
+        version = self.server.pull_versions[m]
+        self.sim.schedule(
+            down, lambda: self._worker_weights(m, t0, weights, version), label=f"weights-{m}"
+        )
+
+    def _worker_weights(self, m: int, t0: float, weights: np.ndarray, version: int) -> None:
+        worker = self.workers[m]
+        t_comm = self.sim.now - t0
+        worker.load_params(weights, version, t_comm)
+        with self.timer.section("worker-compute"):
+            state = worker.forward()
+        dur_fwd = self.compute.duration(m, fraction=1.0 / 3.0)
+        if self.server.rule.requires_compensation:
+            up = self.network.transfer_time(m, self.state_bytes)
+            self.sim.schedule(
+                dur_fwd + up, lambda: self._server_state(m, state), label=f"state-{m}"
+            )
+        else:
+            with self.timer.section("worker-compute"):
+                payload = worker.backward(reply=None, t_comp=0.0)
+            dur_bwd = self.compute.duration(m, fraction=2.0 / 3.0)
+            worker.last_t_comp = dur_bwd
+            up = self.network.transfer_time(m, self.model_bytes + self.state_bytes)
+            self.sim.schedule(
+                dur_fwd + dur_bwd + up,
+                lambda: self._server_combined(m, state, payload),
+                label=f"grad-{m}",
+            )
+            # FIFO per connection: the next pull request leaves with (and is
+            # processed after) the gradient push, so a worker always sees its
+            # own update — sequential SGD is exactly staleness-0.
+            self.sim.schedule(dur_fwd + dur_bwd + up, lambda: self._begin_cycle(m))
+
+    def _server_state(self, m: int, state: WorkerState) -> None:
+        reply = self.server.handle_state(state)
+        self.trace.record(self.sim.now, "state", m, version=self.server.version, value=state.loss)
+        down = self.network.transfer_time(m, _REQUEST_BYTES)
+        self.sim.schedule(down, lambda: self._worker_compensation(m, reply), label=f"comp-{m}")
+
+    def _worker_compensation(self, m: int, reply: Optional[CompensationReply]) -> None:
+        worker = self.workers[m]
+        dur_bwd = self.compute.duration(m, fraction=2.0 / 3.0)
+        with self.timer.section("worker-compute"):
+            payload = worker.backward(
+                reply=reply,
+                lc_lambda=self.config.lc_lambda,
+                compensation=self.config.compensation,
+                t_comp=dur_bwd,
+            )
+        up = self.network.transfer_time(m, self.model_bytes)
+        self.sim.schedule(
+            dur_bwd + up, lambda: self._server_gradient(m, payload), label=f"grad-{m}"
+        )
+        # FIFO per connection (see _worker_weights): pull follows the push.
+        self.sim.schedule(dur_bwd + up, lambda: self._begin_cycle(m))
+
+    def _server_combined(self, m: int, state: WorkerState, payload: GradientPayload) -> None:
+        """Fused state+gradient arrival for the non-LC algorithms."""
+        self.server.iter_log.append(state.worker)
+        if self.server.bn_strategy is not None and state.bn_stats:
+            self.server.bn_strategy.update(state.bn_stats)
+        self._apply_gradient(m, payload)
+
+    def _server_gradient(self, m: int, payload: GradientPayload) -> None:
+        self.trace.record(self.sim.now, "gradient", m, version=self.server.version)
+        self._apply_gradient(m, payload)
+
+    def _apply_gradient(self, m: int, payload: GradientPayload) -> None:
+        advanced, staleness = self.server.handle_gradient(payload)
+        self.trace.record(
+            self.sim.now,
+            "update",
+            m,
+            version=self.server.version,
+            staleness=staleness,
+            value=payload.loss,
+        )
+        if advanced:
+            for worker_id, t0 in self.server.drain_pending_pulls():
+                self._send_weights(worker_id, t0, self.server.params.copy())
+        self._maybe_evaluate()
+        if self.server.batches_processed >= self.total_updates:
+            self.sim.stop()
+
+    def _maybe_evaluate(self) -> None:
+        epoch = self.server.epoch
+        boundary = (
+            self.server.batches_processed % self.iters_per_epoch == 0
+            and self.server.batches_processed > 0
+        )
+        finished = self.server.batches_processed >= self.total_updates
+        if not boundary and not finished:
+            return
+        completed_epoch = epoch - 1 if boundary else epoch
+        if completed_epoch <= self._last_eval_epoch and not finished:
+            return
+        if (
+            not finished
+            and self.config.eval_every_epochs > 1
+            and (completed_epoch + 1) % self.config.eval_every_epochs != 0
+        ):
+            self._last_eval_epoch = completed_epoch
+            return
+        point = self._evaluate()
+        self._curve.append(point)
+        self._last_eval_epoch = completed_epoch
+        logger.info(
+            "algo=%s M=%d epoch=%d t=%.1fs train_err=%.4f test_err=%.4f",
+            self.config.algorithm,
+            self.config.num_workers,
+            point.epoch,
+            point.time,
+            point.train_error,
+            point.test_error,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunResult:
+        """Execute the configured run and collect the result."""
+        start_jitter = self.rng_tree.child("start").generator("jitter")
+        for m in range(self.config.num_workers):
+            delay = float(start_jitter.uniform(0.0, 1e-4))
+            self.sim.schedule(delay, lambda m=m: self._begin_cycle(m))
+        # generous event budget: each update takes a bounded handful of events
+        self.sim.run(max_events=40 * self.total_updates + 10_000)
+
+        if not self._curve:
+            # degenerate runs (e.g. max_updates smaller than one epoch and
+            # the finish-eval raced the stop): take one final snapshot
+            self._curve.append(self._evaluate())
+
+        # Tables 2-3 report cost *per training iteration*: total section time
+        # divided by the number of gradients processed (one iteration = one
+        # batch = one server update attempt).
+        updates = max(self.server.batches_processed, 1)
+        timers = {
+            "loss_pred_ms": self.timer.total("loss-pred") * 1e3 / updates,
+            "step_pred_ms": self.timer.total("step-pred") * 1e3 / updates,
+            "worker_compute_ms": self.timer.total("worker-compute") * 1e3 / updates,
+        }
+        return RunResult(
+            algorithm=self.config.algorithm,
+            num_workers=self.config.num_workers,
+            bn_mode=self.config.bn_mode,
+            curve=list(self._curve),
+            staleness=self.trace.staleness_stats(),
+            loss_prediction_pairs=list(self.server.loss_prediction_pairs),
+            step_prediction_pairs=list(self.server.step_prediction_pairs),
+            finishing_order=self.trace.finishing_order(),
+            timers=timers,
+            total_updates=self.server.batches_processed,
+            total_virtual_time=self.sim.now,
+            seed=self.config.seed,
+        )

@@ -1,0 +1,101 @@
+"""Batching and sampling.
+
+Workers in the paper all draw mini-batches from the *same* dataset
+(Section 3: "the workers ... not only share the model but also use the same
+data"), so each worker owns a :class:`DataLoader` with an independent RNG
+stream over the full training set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import SeedLike, as_generator
+
+
+class BatchSampler:
+    """Infinite sampler yielding index arrays of size ``batch_size``.
+
+    Reshuffles after each full pass; the final short batch of a pass is
+    dropped only if ``drop_last`` (default keeps it).
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.num_items = int(num_items)
+        self.batch_size = int(min(batch_size, num_items))
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = as_generator(seed, "batch-sampler")
+        self._order = np.arange(self.num_items)
+        self._cursor = self.num_items  # force reshuffle on first draw
+
+    def next_batch(self) -> np.ndarray:
+        """Return the next batch's indices."""
+        if self._cursor >= self.num_items:
+            if self.shuffle:
+                self._order = self._rng.permutation(self.num_items)
+            self._cursor = 0
+        end = self._cursor + self.batch_size
+        batch = self._order[self._cursor : end]
+        self._cursor = end
+        if len(batch) < self.batch_size and self.drop_last:
+            return self.next_batch()
+        return batch
+
+    def batches_per_epoch(self) -> int:
+        """Number of batches in one full pass."""
+        if self.drop_last:
+            return self.num_items // self.batch_size
+        return int(np.ceil(self.num_items / self.batch_size))
+
+
+class DataLoader:
+    """Iterate an :class:`ArrayDataset` in mini-batches.
+
+    Supports both epoch-style iteration (``for x, y in loader``) and the
+    worker-style infinite stream (:meth:`next_batch`).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.sampler = BatchSampler(
+            len(dataset), batch_size, shuffle=shuffle, drop_last=drop_last, seed=seed
+        )
+
+    @property
+    def batch_size(self) -> int:
+        """Per-batch example count."""
+        return self.sampler.batch_size
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw the next ``(inputs, targets)`` batch from the stream."""
+        idx = self.sampler.next_batch()
+        return self.dataset[idx]
+
+    def __len__(self) -> int:
+        return self.sampler.batches_per_epoch()
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for _ in range(len(self)):
+            yield self.next_batch()

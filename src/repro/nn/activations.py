@@ -1,0 +1,53 @@
+"""Stateless activation modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu() - (-x).relu() * self.negative_slope
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _C = float(np.sqrt(2.0 / np.pi))
+
+    def forward(self, x: Tensor) -> Tensor:
+        inner = (x + (x * x * x) * 0.044715) * self._C
+        return x * (inner.tanh() + 1.0) * 0.5

@@ -1,0 +1,69 @@
+"""2-D convolution layer (im2col implementation in repro.tensor.functional)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Conv2d(Module):
+    """2-D cross-correlation with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Side of the square kernel.
+    stride, padding:
+        Spatial stride and symmetric zero padding.
+    bias:
+        Whether to learn a per-filter bias (ResNets disable it before BN).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        if stride < 1 or padding < 0:
+            raise ValueError("stride must be >= 1 and padding >= 0")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        gen = rng if rng is not None else np.random.default_rng()
+        initializer = init_mod.get_initializer(init)
+        self.weight = Parameter(
+            initializer((out_channels, in_channels, kernel_size, kernel_size), gen)
+        )
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_channels, dtype=np.float32))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Convolve ``(N, C, H, W)`` input."""
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_channels}, out={self.out_channels}, k={self.kernel_size}, "
+            f"stride={self.stride}, pad={self.padding}, bias={self.bias is not None}"
+        )

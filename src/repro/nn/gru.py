@@ -1,0 +1,114 @@
+"""GRU cells and stacked GRU layers.
+
+An alternative recurrent backbone for the server-side predictors: GRUs are
+~25% cheaper per step than LSTMs (3 gates vs 4) at similar accuracy on
+short windows, which matters for the parameter-server overhead budget
+(paper Tables 2-3).  Drop-in shape-compatible with :class:`repro.nn.LSTM`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.container import ModuleList
+from repro.nn.module import Module, Parameter
+from repro.tensor import stack, zeros
+from repro.tensor.tensor import Tensor
+
+
+class GRUCell(Module):
+    """A single GRU cell with fused reset/update projections.
+
+    Gate order in the fused weights: ``[reset, update]``; the candidate
+    projection is kept separate because it sees the reset-scaled hidden
+    state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gen = rng if rng is not None else np.random.default_rng()
+        self.w_ih = Parameter(init_mod.lecun_uniform((2 * hidden_size, input_size), gen))
+        self.w_hh = Parameter(init_mod.lecun_uniform((2 * hidden_size, hidden_size), gen))
+        self.bias = Parameter(np.zeros(2 * hidden_size, dtype=np.float32))
+        self.w_in = Parameter(init_mod.lecun_uniform((hidden_size, input_size), gen))
+        self.w_hn = Parameter(init_mod.lecun_uniform((hidden_size, hidden_size), gen))
+        self.bias_n = Parameter(np.zeros(hidden_size, dtype=np.float32))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        """One step: ``x`` (N, input_size), ``h_prev`` (N, H) -> new hidden."""
+        gates = x @ self.w_ih.transpose() + h_prev @ self.w_hh.transpose() + self.bias
+        hs = self.hidden_size
+        r_gate = gates[:, 0:hs].sigmoid()
+        z_gate = gates[:, hs : 2 * hs].sigmoid()
+        candidate = (
+            x @ self.w_in.transpose() + (r_gate * h_prev) @ self.w_hn.transpose() + self.bias_n
+        ).tanh()
+        return (1.0 - z_gate) * candidate + z_gate * h_prev
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        """Zero hidden state for ``batch_size`` sequences."""
+        return zeros(batch_size, self.hidden_size)
+
+    def extra_repr(self) -> str:
+        return f"in={self.input_size}, hidden={self.hidden_size}"
+
+
+class GRU(Module):
+    """Stacked GRU over batch-first sequences (N, T, input_size)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        gen = rng if rng is not None else np.random.default_rng()
+        cells: List[GRUCell] = []
+        for layer in range(num_layers):
+            cells.append(GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng=gen))
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tensor]] = None,
+    ) -> Tuple[Tensor, List[Tensor]]:
+        """Run the stack; returns (outputs (N, T, H), final per-layer states)."""
+        if x.data.ndim != 3:
+            raise ValueError(f"GRU expects (N, T, D) input, got shape {x.shape}")
+        batch, steps, _ = x.data.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        if len(state) != self.num_layers:
+            raise ValueError(f"state has {len(state)} layers, GRU has {self.num_layers}")
+        states = list(state)
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            inp = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                states[layer] = cell(inp, states[layer])
+                inp = states[layer]
+            outputs.append(inp)
+        return stack(outputs, axis=1), states
+
+    def extra_repr(self) -> str:
+        return f"in={self.input_size}, hidden={self.hidden_size}, layers={self.num_layers}"

@@ -1,0 +1,70 @@
+"""Weight initializers (He/Kaiming, Xavier/Glorot, uniform fan-based)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return (fan_in, fan_out) for dense or conv weight shapes."""
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"cannot infer fans for shape {shape}")
+
+
+def he_normal(shape, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+    """Kaiming-normal init (gain for ReLU)."""
+    fan_in, _ = _fans(tuple(shape))
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def he_uniform(shape, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+    """Kaiming-uniform init."""
+    fan_in, _ = _fans(tuple(shape))
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, shape).astype(dtype)
+
+
+def xavier_normal(shape, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+    """Glorot-normal init (gain for tanh/sigmoid nets)."""
+    fan_in, fan_out = _fans(tuple(shape))
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+    """Glorot-uniform init."""
+    fan_in, fan_out = _fans(tuple(shape))
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, shape).astype(dtype)
+
+
+def lecun_uniform(shape, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+    """LeCun-uniform init (PyTorch's default for Linear/LSTM)."""
+    fan_in, _ = _fans(tuple(shape))
+    bound = 1.0 / np.sqrt(fan_in)
+    return rng.uniform(-bound, bound, shape).astype(dtype)
+
+
+_INITIALIZERS = {
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "xavier_normal": xavier_normal,
+    "xavier_uniform": xavier_uniform,
+    "lecun_uniform": lecun_uniform,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    if name not in _INITIALIZERS:
+        raise ValueError(f"unknown initializer {name!r}; options: {sorted(_INITIALIZERS)}")
+    return _INITIALIZERS[name]

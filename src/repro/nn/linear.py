@@ -1,0 +1,56 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape ``(out, in)``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output width.
+    bias:
+        Whether to learn an additive bias.
+    init:
+        Initializer name (see :mod:`repro.nn.init`).
+    rng:
+        Generator used for initialization (fresh default_rng if omitted).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = rng if rng is not None else np.random.default_rng()
+        initializer = init_mod.get_initializer(init)
+        self.weight = Parameter(initializer((out_features, in_features), gen))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(np.zeros(out_features, dtype=np.float32))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map to ``(N, in_features)`` input."""
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"

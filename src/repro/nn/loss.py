@@ -1,0 +1,41 @@
+"""Loss modules wrapping the fused functional implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer targets (the paper's loss)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+    def extra_repr(self) -> str:
+        return f"reduction={self.reduction}"
+
+
+class MSELoss(Module):
+    """Mean squared error (used to train the server-side predictors)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.mse_loss(pred, target, reduction=self.reduction)
+
+    def extra_repr(self) -> str:
+        return f"reduction={self.reduction}"

@@ -1,0 +1,217 @@
+"""Module/Parameter system plus flat-parameter-vector exchange helpers.
+
+The parameter server ships the global model as one flat float64 vector
+(:func:`get_flat_params` / :func:`set_flat_params`); workers push gradients
+the same way (:func:`get_flat_grads`).  Flattening order is the deterministic
+``named_parameters()`` traversal order, so every replica agrees on the
+layout.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by default)."""
+
+    def __init__(self, data, requires_grad: bool = True) -> None:
+        super().__init__(np.asarray(data.data if isinstance(data, Tensor) else data), requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter`, :class:`Module` and (via
+    :meth:`register_buffer`) NumPy-array buffers as attributes; registration
+    is automatic and ordered, which fixes the flat-vector layout.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -------------------------------------------------------------- #
+    # registration
+    # -------------------------------------------------------------- #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+            self._buffers.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a registered buffer in place of the registration slot."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # -------------------------------------------------------------- #
+    # traversal
+    # -------------------------------------------------------------- #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` in deterministic order."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters in deterministic order."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` in deterministic order."""
+        for name in self._buffers:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including self (empty name)."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield all submodules including self."""
+        for _, module in self.named_modules():
+            yield module
+
+    # -------------------------------------------------------------- #
+    # train / eval / grads
+    # -------------------------------------------------------------- #
+    def train(self, mode: bool = True) -> "Module":
+        """Switch the module tree into training (or eval) mode."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the module tree into evaluation mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -------------------------------------------------------------- #
+    # state dict
+    # -------------------------------------------------------------- #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameters + buffers as a flat dict of copied arrays."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[f"buffer:{name}"] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load a dict produced by :meth:`state_dict` (strict)."""
+        params = dict(self.named_parameters())
+        buffer_owners: Dict[str, Tuple[Module, str]] = {}
+        for mod_name, module in self.named_modules():
+            for buf_name in module._buffers:
+                dotted = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                buffer_owners[dotted] = (module, buf_name)
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                dotted = key[len("buffer:") :]
+                if dotted not in buffer_owners:
+                    raise KeyError(f"unexpected buffer {dotted!r}")
+                owner, buf_name = buffer_owners[dotted]
+                owner.set_buffer(buf_name, value.copy())
+            else:
+                if key not in params:
+                    raise KeyError(f"unexpected parameter {key!r}")
+                if params[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{params[key].data.shape} vs {value.shape}"
+                    )
+                params[key].data = value.astype(params[key].data.dtype).copy()
+
+    # -------------------------------------------------------------- #
+    # call protocol
+    # -------------------------------------------------------------- #
+    def forward(self, *args, **kwargs):
+        """Compute the module output; must be overridden."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {module!r}".replace("\n", "\n  ") for name, module in self._modules.items()]
+        body = "\n".join(child_lines)
+        head = self.extra_repr()
+        if body:
+            return f"{type(self).__name__}({head}\n{body}\n)"
+        return f"{type(self).__name__}({head})"
+
+    def extra_repr(self) -> str:
+        """One-line summary inserted into ``repr``; override in subclasses."""
+        return ""
+
+
+# ---------------------------------------------------------------------- #
+# flat parameter-vector exchange (server <-> worker payloads)
+# ---------------------------------------------------------------------- #
+def get_flat_params(module: Module, dtype=np.float64) -> np.ndarray:
+    """Concatenate all parameters into one 1-D vector (deterministic order)."""
+    params = module.parameters()
+    if not params:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([p.data.ravel().astype(dtype) for p in params])
+
+
+def set_flat_params(module: Module, flat: np.ndarray) -> None:
+    """Write a flat vector produced by :func:`get_flat_params` back in place."""
+    flat = np.asarray(flat).ravel()
+    offset = 0
+    for param in module.parameters():
+        size = param.data.size
+        if offset + size > flat.size:
+            raise ValueError("flat vector too short for this module")
+        chunk = flat[offset : offset + size]
+        param.data = chunk.reshape(param.data.shape).astype(param.data.dtype)
+        offset += size
+    if offset != flat.size:
+        raise ValueError(f"flat vector has {flat.size} elements, module holds {offset}")
+
+
+def get_flat_grads(module: Module, dtype=np.float64) -> np.ndarray:
+    """Concatenate parameter gradients (zeros where ``grad is None``)."""
+    chunks: List[np.ndarray] = []
+    for param in module.parameters():
+        if param.grad is None:
+            chunks.append(np.zeros(param.data.size, dtype=dtype))
+        else:
+            chunks.append(param.grad.ravel().astype(dtype))
+    if not chunks:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(chunks)

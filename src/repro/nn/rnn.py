@@ -1,0 +1,132 @@
+"""LSTM cells and stacked LSTM layers.
+
+The paper's two server-side predictors are both "two LSTM layers followed by
+a linear layer" (Sections 4.3-4.4); :class:`LSTM` provides exactly that
+backbone.  Gates use the fused 4x-wide projection, and backward comes for
+free from autograd (gradient-checked in ``tests/nn/test_lstm.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.container import ModuleList
+from repro.nn.module import Module, Parameter
+from repro.tensor import concat, stack, zeros
+from repro.tensor.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused input/forget/cell/output gates.
+
+    Weight layout follows PyTorch: ``w_ih (4H, I)``, ``w_hh (4H, H)``, gate
+    order ``[input, forget, cell, output]``.  Forget-gate bias starts at 1.0
+    (standard trick for gradient flow on long series).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gen = rng if rng is not None else np.random.default_rng()
+        self.w_ih = Parameter(init_mod.lecun_uniform((4 * hidden_size, input_size), gen))
+        self.w_hh = Parameter(init_mod.lecun_uniform((4 * hidden_size, hidden_size), gen))
+        bias = np.zeros(4 * hidden_size, dtype=np.float32)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        """One step: ``x`` is (N, input_size); returns new ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = x @ self.w_ih.transpose() + h_prev @ self.w_hh.transpose() + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        """Zero hidden/cell state for ``batch_size`` sequences."""
+        return (
+            zeros(batch_size, self.hidden_size),
+            zeros(batch_size, self.hidden_size),
+        )
+
+    def extra_repr(self) -> str:
+        return f"in={self.input_size}, hidden={self.hidden_size}"
+
+
+class LSTM(Module):
+    """Stacked LSTM over batch-first sequences (N, T, input_size).
+
+    Returns the full top-layer output sequence plus the final per-layer
+    states, mirroring ``torch.nn.LSTM(batch_first=True)``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        gen = rng if rng is not None else np.random.default_rng()
+        cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            cells.append(LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=gen))
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+    ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Run the stack over a (N, T, input_size) batch.
+
+        Returns
+        -------
+        outputs:
+            (N, T, hidden_size) top-layer hidden states.
+        final_states:
+            ``[(h, c), ...]`` per layer, each (N, hidden_size).
+        """
+        if x.data.ndim != 3:
+            raise ValueError(f"LSTM expects (N, T, D) input, got shape {x.shape}")
+        batch, steps, _ = x.data.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        if len(state) != self.num_layers:
+            raise ValueError(f"state has {len(state)} layers, LSTM has {self.num_layers}")
+
+        states = list(state)
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            inp = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(inp, states[layer])
+                states[layer] = (h, c)
+                inp = h
+            outputs.append(inp)
+        return stack(outputs, axis=1), states
+
+    def extra_repr(self) -> str:
+        return f"in={self.input_size}, hidden={self.hidden_size}, layers={self.num_layers}"

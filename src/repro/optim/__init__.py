@@ -1,0 +1,6 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.sgd import SGD
+from repro.optim.lr_scheduler import ConstantLR, CosineLR, LRSchedule, MultiStepLR
+
+__all__ = ["SGD", "LRSchedule", "MultiStepLR", "ConstantLR", "CosineLR"]

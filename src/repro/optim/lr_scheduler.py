@@ -1,0 +1,76 @@
+"""Learning-rate schedules.
+
+The paper uses step decay: "an initial learning rate of 0.3 ... divided by
+ten after 80 and 120 epochs" (CIFAR-10) and "reduced by ten times at the
+60th and 90th epoch" (ImageNet) — :class:`MultiStepLR` with those
+milestones.  Schedules are pure functions of the epoch index so the
+parameter server and all workers agree without extra communication.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class LRSchedule:
+    """Base class: map an epoch index to a learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = float(base_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate for ``epoch`` (0-based)."""
+        raise NotImplementedError
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr_at(epoch)
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class MultiStepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` at each milestone epoch.
+
+    >>> sched = MultiStepLR(0.3, milestones=(80, 120), gamma=0.1)
+    >>> sched.lr_at(79), sched.lr_at(80), sched.lr_at(120)
+    (0.3, 0.03, 0.003...)
+    """
+
+    def __init__(self, base_lr: float, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(base_lr)
+        milestones = tuple(int(m) for m in milestones)
+        if sorted(milestones) != list(milestones):
+            raise ValueError("milestones must be sorted ascending")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.milestones = milestones
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        drops = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma**drops
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if min_lr < 0 or min_lr > base_lr:
+            raise ValueError("min_lr must be in [0, base_lr]")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(max(epoch, 0), self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * t))

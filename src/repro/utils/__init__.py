@@ -1,0 +1,34 @@
+"""Shared utilities: RNG management, timers, logging, serialization."""
+
+from repro.utils.logging import get_logger, set_log_level
+from repro.utils.rng import RngTree, as_generator
+from repro.utils.serialization import (
+    flatten_arrays,
+    load_checkpoint,
+    save_checkpoint,
+    unflatten_arrays,
+)
+from repro.utils.timer import Timer, WallTimer
+from repro.utils.validation import (
+    check_in,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngTree",
+    "as_generator",
+    "Timer",
+    "WallTimer",
+    "get_logger",
+    "set_log_level",
+    "flatten_arrays",
+    "unflatten_arrays",
+    "save_checkpoint",
+    "load_checkpoint",
+    "check_positive",
+    "check_probability",
+    "check_in",
+    "check_type",
+]

@@ -1,0 +1,38 @@
+"""Lightweight logging wrapper (stdlib logging with a shared namespace)."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the shared ``repro`` namespace."""
+    _configure()
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def set_log_level(level: str) -> None:
+    """Set the package-wide log level (e.g. ``"INFO"``, ``"DEBUG"``)."""
+    _configure()
+    logging.getLogger(_ROOT_NAME).setLevel(level.upper())

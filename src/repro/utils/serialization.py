@@ -1,0 +1,79 @@
+"""Parameter-vector (de)serialization and checkpointing.
+
+The parameter server stores the global model as one flat ``float64`` vector;
+workers reconstruct structured arrays from it.  ``flatten/unflatten`` are
+exact inverses — this is property-tested in ``tests/utils``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+ShapeSpec = List[Tuple[Tuple[int, ...], np.dtype]]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, ShapeSpec]:
+    """Concatenate ``arrays`` into one 1-D float64 vector plus a shape spec.
+
+    Returns
+    -------
+    flat:
+        1-D vector of total size ``sum(a.size)``.
+    spec:
+        ``[(shape, dtype), ...]`` needed by :func:`unflatten_arrays`.
+    """
+    spec: ShapeSpec = [(tuple(a.shape), a.dtype) for a in arrays]
+    if not arrays:
+        return np.zeros(0, dtype=np.float64), spec
+    flat = np.concatenate([np.asarray(a, dtype=np.float64).ravel() for a in arrays])
+    return flat, spec
+
+
+def unflatten_arrays(flat: np.ndarray, spec: ShapeSpec) -> List[np.ndarray]:
+    """Inverse of :func:`flatten_arrays`.
+
+    Raises
+    ------
+    ValueError
+        if ``flat`` does not hold exactly the number of elements the spec
+        describes.
+    """
+    flat = np.asarray(flat).ravel()
+    total = sum(int(np.prod(shape)) for shape, _ in spec)
+    if flat.size != total:
+        raise ValueError(f"flat vector has {flat.size} elements, spec expects {total}")
+    out: List[np.ndarray] = []
+    offset = 0
+    for shape, dtype in spec:
+        size = int(np.prod(shape))
+        out.append(flat[offset : offset + size].reshape(shape).astype(dtype, copy=True))
+        offset += size
+    return out
+
+
+def save_checkpoint(path: str, tensors: Dict[str, np.ndarray], **metadata) -> None:
+    """Save named arrays plus scalar metadata to an ``.npz`` file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    meta = {f"__meta_{k}": np.asarray(v) for k, v in metadata.items()}
+    np.savez(path, **tensors, **meta)
+
+
+def load_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``(tensors, metadata)``.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        tensors: Dict[str, np.ndarray] = {}
+        metadata: Dict[str, object] = {}
+        for key in archive.files:
+            if key.startswith("__meta_"):
+                value = archive[key]
+                metadata[key[len("__meta_") :]] = value.item() if value.ndim == 0 else value
+            else:
+                tensors[key] = archive[key]
+    return tensors, metadata

@@ -1,0 +1,83 @@
+"""Small timing helpers used by the overhead experiments (Tables 2-3)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+class WallTimer:
+    """Context manager measuring wall-clock seconds via ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class Timer:
+    """Accumulating named timer, used to attribute per-iteration cost.
+
+    >>> t = Timer()
+    >>> with t.section("loss-pred"):
+    ...     pass
+    >>> t.total("loss-pred") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._samples: Dict[str, List[float]] = {}
+
+    class _Section:
+        def __init__(self, timer: "Timer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Timer._Section":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self._timer.add(self._name, time.perf_counter() - self._start)
+
+    def section(self, name: str) -> "Timer._Section":
+        """Return a context manager accumulating into ``name``."""
+        return Timer._Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+        self._samples.setdefault(name, []).append(seconds)
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated for ``name`` (0.0 if never recorded)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of samples recorded for ``name``."""
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per sample for ``name`` (0.0 if never recorded)."""
+        n = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / n if n else 0.0
+
+    def names(self) -> List[str]:
+        """All section names recorded so far."""
+        return sorted(self._totals)
+
+    def reset(self) -> None:
+        """Drop all recorded samples."""
+        self._totals.clear()
+        self._counts.clear()
+        self._samples.clear()

@@ -1,0 +1,131 @@
+"""Bench harness: grids, tables, plots, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentGrid,
+    ascii_plot,
+    ascii_scatter,
+    bench_profile,
+    cifar_workload,
+    format_table,
+    imagenet_workload,
+    paper_reference,
+    run_curves,
+    run_grid,
+)
+from repro.bench.workloads import PAPER_OVERHEAD, PAPER_TABLE1
+from repro.core.config import TrainingConfig
+
+
+def tiny_workload(algorithm, num_workers, seed=0, **kw):
+    return TrainingConfig.tiny(algorithm=algorithm, num_workers=num_workers, seed=seed, epochs=2, **kw)
+
+
+class TestHarness:
+    def test_run_grid_cells(self):
+        grid = run_grid(tiny_workload, ["asgd", "sgd"], [2], seeds=(0,))
+        assert ("asgd", 2) in grid.cells
+        assert ("sgd", 1) in grid.cells  # sgd collapses to one worker
+        assert grid.mean_test_error("asgd", 2) <= 1.0
+
+    def test_grid_multiple_seeds_averaged(self):
+        grid = run_grid(tiny_workload, ["asgd"], [2], seeds=(0, 1))
+        assert len(grid.runs("asgd", 2)) == 2
+        errs = [r.final_test_error for r in grid.runs("asgd", 2)]
+        assert grid.mean_test_error("asgd", 2) == pytest.approx(np.mean(errs))
+
+    def test_mean_degradation(self):
+        grid = run_grid(tiny_workload, ["asgd"], [2], seeds=(0,))
+        deg = grid.mean_degradation("asgd", 2, baseline=0.5)
+        measured = grid.mean_test_error("asgd", 2)
+        assert deg == pytest.approx(100 * (measured - 0.5) / 0.5)
+
+    def test_run_curves(self):
+        results = run_curves(tiny_workload, ["asgd", "ssgd"], workers=2, seed=0)
+        assert set(results) == {"asgd", "ssgd"}
+        assert len(results["asgd"].curve) >= 1
+
+    def test_experiment_grid_object(self):
+        grid = ExperimentGrid(tiny_workload, ["asgd"], [2], seeds=(0,))
+        assert grid.run().mean_test_error("asgd", 2) >= 0.0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_plot_contains_markers_and_legend(self):
+        out = ascii_plot(
+            {"one": ([0, 1, 2], [0.0, 1.0, 0.5]), "two": ([0, 1, 2], [1.0, 0.0, 0.5])},
+            width=30,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "o=one" in out and "x=two" in out
+        assert "o" in out and "x" in out
+
+    def test_ascii_plot_flat_series(self):
+        out = ascii_plot({"flat": ([0, 1], [1.0, 1.0])}, width=10, height=4)
+        assert "flat" in out
+
+    def test_ascii_plot_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_ascii_scatter(self):
+        out = ascii_scatter([1, 2, 3], [1.1, 2.1, 2.9], title="pred")
+        assert "actual" in out and "predicted" in out
+
+
+class TestWorkloads:
+    def test_profile_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert bench_profile() == "fast"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+        assert bench_profile() == "full"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "bogus")
+        with pytest.raises(ValueError):
+            bench_profile()
+
+    def test_cifar_workload_shapes(self):
+        cfg = cifar_workload("lc-asgd", 8)
+        assert cfg.algorithm == "lc-asgd"
+        assert cfg.num_workers == 8
+        assert cfg.dataset == "cifar"
+        assert cfg.momentum == 0.9
+
+    def test_imagenet_workload(self):
+        cfg = imagenet_workload("asgd", 4, bn_mode="replace")
+        assert cfg.dataset == "imagenet"
+        assert cfg.bn_mode == "replace"
+        assert cfg.cluster.mean_batch_time > cifar_workload("asgd", 4).cluster.mean_batch_time
+
+    def test_sgd_workload_single_worker(self):
+        assert cifar_workload("sgd", 16).num_workers == 1
+
+    def test_paper_reference_lookup(self):
+        assert paper_reference("cifar", 16, "lc-asgd") == pytest.approx(5.52)
+        assert paper_reference("cifar", 1, "sgd") == pytest.approx(5.15)
+        assert paper_reference("cifar", 2, "asgd") is None
+
+    def test_paper_tables_consistent(self):
+        """Sanity on the transcribed paper numbers: LC-ASGD is always the
+        best distributed algorithm in Table 1."""
+        for dataset in ("cifar", "imagenet"):
+            for m in (4, 8, 16):
+                lc = PAPER_TABLE1[(dataset, m, "lc-asgd")]
+                for algo in ("ssgd", "asgd", "dc-asgd"):
+                    assert lc < PAPER_TABLE1[(dataset, m, algo)]
+
+    def test_paper_overhead_shape(self):
+        """Paper overhead: ~8% on CIFAR, ~1.5% on ImageNet, growing in M."""
+        for m in (4, 8, 16):
+            assert PAPER_OVERHEAD[("cifar", m)]["overhead_pct"] > PAPER_OVERHEAD[("imagenet", m)]["overhead_pct"]
+        assert PAPER_OVERHEAD[("cifar", 16)]["total_ms"] > PAPER_OVERHEAD[("cifar", 4)]["total_ms"]

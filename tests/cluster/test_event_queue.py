@@ -1,0 +1,70 @@
+"""Event-queue ordering invariants (hypothesis-verified)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.event import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(3.0, lambda: order.append("c"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(2.0, lambda: order.append("b"))
+    while q:
+        q.pop().action()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    q = EventQueue()
+    order = []
+    for name in "abcde":
+        q.push(1.0, lambda n=name: order.append(n))
+    while q:
+        q.pop().action()
+    assert order == list("abcde")
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1.0, lambda: None)
+
+
+def test_peek_time():
+    q = EventQueue()
+    assert q.peek_time() is None
+    q.push(5.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.peek_time() == 2.0
+
+
+def test_len_and_bool():
+    q = EventQueue()
+    assert not q and len(q) == 0
+    q.push(1.0, lambda: None)
+    assert q and len(q) == 1
+
+
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_pop_order_is_sorted_stable(times):
+    """Pops are sorted by time; equal times preserve insertion order."""
+    q = EventQueue()
+    for i, t in enumerate(times):
+        q.push(t, lambda: None, label=str(i))
+    popped = []
+    while q:
+        popped.append(q.pop())
+    assert all(
+        (a.time, a.seq) <= (b.time, b.seq) for a, b in zip(popped, popped[1:])
+    )
+    assert sorted(e.time for e in popped) == [e.time for e in popped]

@@ -1,0 +1,93 @@
+"""Virtual-time simulator semantics."""
+
+import pytest
+
+from repro.cluster.simulator import Simulator
+
+
+def test_clock_advances_monotonically():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.0
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.now))
+        sim.schedule(0.5, lambda: seen.append(("second", sim.now)))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 1.5)]
+
+
+def test_until_stops_before_future_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(5.0, lambda: seen.append(5))
+    sim.run(until=2.0)
+    assert seen == [1]
+    assert sim.now == 2.0
+
+
+def test_stop_requests_exit():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda t=t: seen.append(t))
+    sim.run(stop_when=lambda: len(seen) >= 2)
+    assert seen == [1.0, 2.0]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_schedule_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for t in range(5):
+        sim.schedule(float(t), lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_zero_delay_runs_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]

@@ -1,0 +1,65 @@
+"""Shared fixtures and numeric-gradient helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test data."""
+    return np.random.default_rng(1234)
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f()`` w.r.t. array ``x``.
+
+    ``f`` must read the *current* contents of ``x`` on each call (the helper
+    perturbs entries in place and restores them).
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f()
+        x[idx] = original - eps
+        f_minus = f()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def assert_gradcheck(build_loss, params: list, atol: float = 1e-6, rtol: float = 1e-4) -> None:
+    """Check autograd gradients of ``build_loss()`` against central differences.
+
+    Parameters
+    ----------
+    build_loss:
+        Zero-argument callable returning a scalar loss Tensor built from the
+        given ``params`` (fresh graph on each call).
+    params:
+        Tensors (float64, requires_grad=True) to differentiate.
+    """
+    loss = build_loss()
+    for p in params:
+        p.grad = None
+    loss.backward()
+    analytic = [p.grad.copy() for p in params]
+
+    def scalar() -> float:
+        return float(build_loss().data)
+
+    for p, a_grad in zip(params, analytic):
+        n_grad = numeric_gradient(scalar, p.data)
+        np.testing.assert_allclose(a_grad, n_grad, atol=atol, rtol=rtol)
+
+
+def randt(rng: np.random.Generator, *shape, requires_grad: bool = True) -> Tensor:
+    """Float64 random tensor (float64 keeps gradchecks tight)."""
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)

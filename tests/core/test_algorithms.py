@@ -1,0 +1,186 @@
+"""Update rules: SGD/SSGD/ASGD/DC-ASGD/LC-ASGD server-side mathematics."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import (
+    ASGDRule,
+    DCASGDRule,
+    LCASGDRule,
+    SSGDRule,
+    SequentialSGDRule,
+    compensation_seed,
+    make_update_rule,
+)
+from repro.core.state import GradientPayload
+
+
+def payload(worker, grad, version=0):
+    return GradientPayload(worker=worker, grad=np.asarray(grad, dtype=np.float64), pull_version=version)
+
+
+class TestPlainRules:
+    @pytest.mark.parametrize("rule_cls", [SequentialSGDRule, ASGDRule, LCASGDRule])
+    def test_apply_is_sgd_step(self, rule_cls):
+        rule = rule_cls()
+        params = np.array([1.0, 2.0])
+        advanced = rule.apply_gradient(params, payload(0, [0.5, -0.5]), lr=0.1, version=0)
+        assert advanced
+        np.testing.assert_allclose(params, [0.95, 2.05])
+
+    def test_momentum_compounds(self):
+        rule = ASGDRule(momentum=0.5)
+        params = np.zeros(1)
+        rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+        rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=1)
+        # v1=1 -> w=-1; v2=1.5 -> w=-2.5
+        np.testing.assert_allclose(params, [-2.5])
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            ASGDRule(momentum=1.0)
+
+    def test_reset_clears_velocity(self):
+        rule = ASGDRule(momentum=0.9)
+        params = np.zeros(1)
+        rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+        rule.reset()
+        assert rule._velocity is None
+
+
+class TestSSGD:
+    def test_barrier_averages(self):
+        rule = SSGDRule(num_workers=2)
+        params = np.array([0.0])
+        assert not rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+        np.testing.assert_allclose(params, [0.0])  # no update before the barrier
+        assert rule.apply_gradient(params, payload(1, [3.0]), lr=1.0, version=0)
+        np.testing.assert_allclose(params, [-2.0])  # mean(1, 3) = 2
+
+    def test_round_contributed(self):
+        rule = SSGDRule(num_workers=2)
+        params = np.zeros(1)
+        rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+        assert rule.round_contributed(0)
+        assert not rule.round_contributed(1)
+
+    def test_duplicate_submission_rejected(self):
+        rule = SSGDRule(num_workers=2)
+        params = np.zeros(1)
+        rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+        with pytest.raises(RuntimeError, match="twice"):
+            rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+
+    def test_reset(self):
+        rule = SSGDRule(num_workers=2)
+        params = np.zeros(1)
+        rule.apply_gradient(params, payload(0, [1.0]), lr=1.0, version=0)
+        rule.reset()
+        assert not rule.round_contributed(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSGDRule(num_workers=0)
+
+
+class TestDCASGD:
+    def test_no_backup_plain_step(self):
+        rule = DCASGDRule(lambda0=1.0, adaptive=False)
+        params = np.array([1.0])
+        rule.apply_gradient(params, payload(0, [1.0]), lr=0.1, version=0)
+        np.testing.assert_allclose(params, [0.9])
+
+    def test_formula3_compensation(self):
+        """w -= lr (g + lambda g*g*(w - w_bak)) exactly (constant lambda)."""
+        rule = DCASGDRule(lambda0=2.0, adaptive=False)
+        params = np.array([1.0, -1.0])
+        rule.on_pull(0, 0, params)  # backup = (1, -1)
+        params += np.array([0.5, 0.5])  # server moved meanwhile
+        g = np.array([0.2, -0.4])
+        expected = params - 0.1 * (g + 2.0 * g * g * (params - np.array([1.0, -1.0])))
+        rule.apply_gradient(params, payload(0, g.copy()), lr=0.1, version=3)
+        np.testing.assert_allclose(params, expected)
+
+    def test_zero_delay_no_compensation(self):
+        """If the server has not moved, DC-ASGD reduces to plain ASGD."""
+        rule = DCASGDRule(lambda0=5.0, adaptive=False)
+        params = np.array([1.0])
+        rule.on_pull(0, 0, params)
+        rule.apply_gradient(params, payload(0, [0.5]), lr=0.1, version=0)
+        np.testing.assert_allclose(params, [1.0 - 0.05])
+
+    def test_adaptive_lambda_scales_with_grad_magnitude(self):
+        rule = DCASGDRule(lambda0=0.1, adaptive=True)
+        big = rule._lambda_t(np.array([10.0]))
+        rule2 = DCASGDRule(lambda0=0.1, adaptive=True)
+        small = rule2._lambda_t(np.array([0.01]))
+        assert small > big  # smaller gradients -> larger relative compensation
+
+    def test_reset(self):
+        rule = DCASGDRule()
+        params = np.zeros(2)
+        rule.on_pull(0, 0, params)
+        rule.reset()
+        assert rule._backups == {}
+        assert rule._grad_sq_ema is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DCASGDRule(lambda0=-1)
+        with pytest.raises(ValueError):
+            DCASGDRule(ema_decay=0)
+
+
+class TestCompensationSeed:
+    def test_zero_steps_is_identity(self):
+        assert compensation_seed("damping", 1.0, 0.0, 0, 0.7) == 1.0
+
+    def test_scale_mode(self):
+        # (l + lam*l_delay)/l = (2 + 0.5*4)/2 = 2.0
+        assert compensation_seed("scale", 2.0, 4.0, 2, 0.5) == pytest.approx(2.0)
+
+    def test_sensitivity_mode(self):
+        assert compensation_seed("sensitivity", 2.0, 0.0, 3, 0.5, sensitivity=0.4) == pytest.approx(1.2)
+
+    def test_damping_monotone_in_forecast(self):
+        """Lower predicted future loss -> stronger damping."""
+        high = compensation_seed("damping", 2.0, 2.0 * 4, 4, 0.7)  # future == current
+        low = compensation_seed("damping", 2.0, 1.0 * 4, 4, 0.7)  # future halved
+        assert low < high <= 1.0
+
+    def test_damping_never_amplifies(self):
+        seed = compensation_seed("damping", 2.0, 10.0 * 4, 4, 0.7)  # rising forecast
+        assert seed <= 1.0
+
+    def test_seed_clipped(self):
+        assert compensation_seed("scale", 1e-9, 100.0, 5, 1.0) <= 3.0
+        assert compensation_seed("sensitivity", 1.0, 0.0, 5, 1.0, sensitivity=-100) >= 0.05
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            compensation_seed("bogus", 1.0, 1.0, 1, 0.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("sgd", SequentialSGDRule),
+            ("ssgd", SSGDRule),
+            ("asgd", ASGDRule),
+            ("dc-asgd", DCASGDRule),
+            ("lc-asgd", LCASGDRule),
+        ],
+    )
+    def test_make(self, name, cls):
+        rule = make_update_rule(name, num_workers=4, momentum=0.5)
+        assert isinstance(rule, cls)
+        assert rule.momentum == 0.5
+
+    def test_requires_compensation_flag(self):
+        assert make_update_rule("lc-asgd", num_workers=2).requires_compensation
+        assert not make_update_rule("asgd", num_workers=2).requires_compensation
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_update_rule("bogus", num_workers=2)

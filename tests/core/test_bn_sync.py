@@ -1,0 +1,92 @@
+"""BN synchronization strategies (Formulas 6-7 and replace-mode)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batchnorm_sync import AsyncBn, ReplaceBn, make_bn_strategy
+
+
+def payload(mean_value, var_value, sizes=(3, 2)):
+    return [(np.full(s, mean_value), np.full(s, var_value)) for s in sizes]
+
+
+def test_initialized_to_standard():
+    """Algorithm 2: E = 0, Var = 1."""
+    strat = AsyncBn([3, 2])
+    for mean, var in strat.current():
+        np.testing.assert_array_equal(mean, 0.0)
+        np.testing.assert_array_equal(var, 1.0)
+
+
+def test_replace_overwrites():
+    strat = ReplaceBn([3, 2])
+    strat.update(payload(5.0, 2.0))
+    strat.update(payload(7.0, 3.0))
+    for mean, var in strat.current():
+        np.testing.assert_array_equal(mean, 7.0)
+        np.testing.assert_array_equal(var, 3.0)
+
+
+def test_async_ema_formula():
+    """E <- (1-d) E + d mean (Formula 6), starting from E=0, Var=1."""
+    strat = AsyncBn([2], decay=0.25)
+    strat.update(payload(4.0, 5.0, sizes=(2,)))
+    mean, var = strat.current()[0]
+    np.testing.assert_allclose(mean, 0.75 * 0.0 + 0.25 * 4.0)
+    np.testing.assert_allclose(var, 0.75 * 1.0 + 0.25 * 5.0)
+    strat.update(payload(4.0, 5.0, sizes=(2,)))
+    mean, var = strat.current()[0]
+    np.testing.assert_allclose(mean, 0.75 * 1.0 + 0.25 * 4.0)
+
+
+def test_async_smoother_than_replace():
+    """Async-BN's whole point: global stats vary less across noisy workers."""
+    rng = np.random.default_rng(0)
+    replace, async_bn = ReplaceBn([4]), AsyncBn([4], decay=0.2)
+    replace_means, async_means = [], []
+    for _ in range(50):
+        stats = [(rng.standard_normal(4), np.abs(rng.standard_normal(4)) + 0.5)]
+        replace.update(stats)
+        async_bn.update(stats)
+        replace_means.append(replace.current()[0][0].copy())
+        async_means.append(async_bn.current()[0][0].copy())
+    assert np.std(async_means, axis=0).mean() < np.std(replace_means, axis=0).mean()
+
+
+def test_payload_validation():
+    strat = AsyncBn([3, 2])
+    with pytest.raises(ValueError, match="BN layers"):
+        strat.update(payload(0.0, 1.0, sizes=(3,)))
+    with pytest.raises(ValueError, match="mean shape"):
+        strat.update(payload(0.0, 1.0, sizes=(4, 2)))
+
+
+def test_current_returns_copies():
+    strat = AsyncBn([2])
+    snapshot = strat.current()
+    snapshot[0][0][:] = 99.0
+    np.testing.assert_array_equal(strat.current()[0][0], 0.0)
+
+
+def test_factory():
+    assert make_bn_strategy("local", [2]) is None
+    assert isinstance(make_bn_strategy("replace", [2]), ReplaceBn)
+    assert isinstance(make_bn_strategy("async", [2], decay=0.3), AsyncBn)
+    with pytest.raises(ValueError):
+        make_bn_strategy("bogus", [2])
+    with pytest.raises(ValueError):
+        AsyncBn([2], decay=0.0)
+
+
+@given(st.floats(0.01, 1.0), st.lists(st.floats(-10, 10), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_async_mean_stays_in_convex_hull(decay, values):
+    """EMA output is always inside the convex hull of {init} U observations."""
+    strat = AsyncBn([1], decay=decay)
+    lo, hi = min([0.0] + values), max([0.0] + values)
+    for v in values:
+        strat.update([(np.array([v]), np.array([1.0]))])
+        mean = strat.current()[0][0][0]
+        assert lo - 1e-9 <= mean <= hi + 1e-9

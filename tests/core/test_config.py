@@ -1,0 +1,101 @@
+"""TrainingConfig validation and presets."""
+
+import pytest
+
+from repro.core.config import ClusterConfig, PredictorConfig, TrainingConfig
+
+
+def test_defaults_valid():
+    cfg = TrainingConfig()
+    assert cfg.algorithm == "lc-asgd"
+
+
+def test_algorithm_validation():
+    with pytest.raises(ValueError, match="algorithm"):
+        TrainingConfig(algorithm="bogus")
+
+
+def test_sgd_requires_single_worker():
+    with pytest.raises(ValueError, match="exactly one worker"):
+        TrainingConfig(algorithm="sgd", num_workers=4)
+    TrainingConfig(algorithm="sgd", num_workers=1)  # ok
+
+
+def test_bn_mode_validation():
+    with pytest.raises(ValueError, match="bn_mode"):
+        TrainingConfig(bn_mode="bogus")
+    with pytest.raises(ValueError, match="bn_decay"):
+        TrainingConfig(bn_decay=0.0)
+
+
+def test_compensation_validation():
+    with pytest.raises(ValueError, match="compensation"):
+        TrainingConfig(compensation="bogus")
+    with pytest.raises(ValueError, match="lc_lambda"):
+        TrainingConfig(lc_lambda=-1)
+
+
+def test_numeric_validation():
+    with pytest.raises(ValueError):
+        TrainingConfig(num_workers=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(epochs=0)
+
+
+def test_predictor_config_validation():
+    with pytest.raises(ValueError):
+        PredictorConfig(loss_variant="bogus")
+    with pytest.raises(ValueError):
+        PredictorConfig(step_variant="bogus")
+    with pytest.raises(ValueError):
+        PredictorConfig(loss_hidden=0)
+    with pytest.raises(ValueError):
+        PredictorConfig(train_every=0)
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(mean_batch_time=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(straggler_probability=2.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        TrainingConfig.small_cifar,
+        TrainingConfig.small_imagenet,
+        TrainingConfig.paper_cifar10,
+        TrainingConfig.paper_imagenet,
+        TrainingConfig.tiny,
+    ],
+)
+@pytest.mark.parametrize("algorithm", ["sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd"])
+def test_presets_construct(factory, algorithm):
+    cfg = factory(algorithm=algorithm)
+    assert cfg.algorithm == algorithm
+    if algorithm == "sgd":
+        assert cfg.num_workers == 1
+        assert cfg.bn_mode == "local"
+
+
+def test_paper_cifar_schedule_matches_paper():
+    cfg = TrainingConfig.paper_cifar10()
+    assert cfg.epochs == 160
+    assert cfg.lr_milestones == (80, 120)
+    assert cfg.base_lr == pytest.approx(0.3)
+    assert cfg.batch_size == 128
+
+
+def test_paper_imagenet_schedule_matches_paper():
+    cfg = TrainingConfig.paper_imagenet()
+    assert cfg.epochs == 120
+    assert cfg.lr_milestones == (60, 90)
+    assert cfg.model == "resnet50"
+
+
+def test_with_overrides():
+    cfg = TrainingConfig.tiny().with_overrides(epochs=9)
+    assert cfg.epochs == 9

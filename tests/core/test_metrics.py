@@ -1,0 +1,105 @@
+"""RunResult accessors and model evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import CurvePoint, RunResult, degradation, evaluate_model
+from repro.nn.mlp import MLP
+from repro.tensor import Tensor
+
+
+def make_result(errors=(0.5, 0.3, 0.2)):
+    curve = [
+        CurvePoint(epoch=i, time=float(i), train_error=e, train_loss=e, test_error=e, test_loss=e)
+        for i, e in enumerate(errors)
+    ]
+    return RunResult(algorithm="asgd", num_workers=4, bn_mode="async", curve=curve)
+
+
+def test_final_and_best():
+    r = make_result((0.5, 0.2, 0.3))
+    assert r.final_test_error == 0.3
+    assert r.final_train_error == 0.3
+    assert r.best_test_error == 0.2
+
+
+def test_empty_curve_raises():
+    r = RunResult(algorithm="asgd", num_workers=1, bn_mode="async")
+    with pytest.raises(ValueError):
+        _ = r.final_test_error
+    with pytest.raises(ValueError):
+        _ = r.best_test_error
+
+
+def test_series_accessors():
+    r = make_result()
+    np.testing.assert_array_equal(r.epochs(), [0, 1, 2])
+    np.testing.assert_array_equal(r.times(), [0.0, 1.0, 2.0])
+    np.testing.assert_array_equal(r.series("test_error"), [0.5, 0.3, 0.2])
+    with pytest.raises(ValueError):
+        r.series("bogus")
+
+
+def test_prediction_errors():
+    r = make_result()
+    assert np.isnan(r.loss_prediction_error())
+    assert np.isnan(r.step_prediction_error())
+    r.loss_prediction_pairs = [(1.0, 1.5), (2.0, 2.0)]
+    assert r.loss_prediction_error() == pytest.approx(0.25)
+    r.step_prediction_pairs = [(3, 5), (4, 4)]
+    assert r.step_prediction_error() == pytest.approx(1.0)
+
+
+def test_degradation():
+    assert degradation(6.0, 5.0) == pytest.approx(20.0)
+    assert degradation(4.5, 5.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        degradation(1.0, 0.0)
+
+
+def test_evaluate_model_perfect_classifier(rng):
+    """A model whose logits equal the one-hot labels scores zero error."""
+
+    class Oracle:
+        training = False
+
+        def __call__(self, x):
+            return Tensor(np.eye(3)[targets_slice[0]].astype(np.float32) * 10)
+
+        def eval(self):
+            return self
+
+        def train(self, mode=True):
+            return self
+
+    inputs = rng.standard_normal((6, 4)).astype(np.float32)
+    targets = np.array([0, 1, 2, 0, 1, 2])
+    targets_slice = [targets]
+    err, loss = evaluate_model(Oracle(), inputs, targets, batch_size=6)
+    assert err == 0.0
+    assert loss < 0.01
+
+
+def test_evaluate_model_batching(rng):
+    model = MLP((4, 8, 3), batch_norm=False, rng=np.random.default_rng(0))
+    inputs = rng.standard_normal((10, 4)).astype(np.float32)
+    targets = rng.integers(0, 3, 10)
+    err_full, loss_full = evaluate_model(model, inputs, targets, batch_size=10)
+    err_batched, loss_batched = evaluate_model(model, inputs, targets, batch_size=3)
+    assert err_full == pytest.approx(err_batched)
+    assert loss_full == pytest.approx(loss_batched, rel=1e-5)
+
+
+def test_evaluate_model_restores_training_mode(rng):
+    model = MLP((4, 8, 3), batch_norm=True, rng=np.random.default_rng(0))
+    model.train()
+    # must run a training pass first so BN has stats; eval uses running stats
+    model(Tensor(rng.standard_normal((8, 4)).astype(np.float32)))
+    evaluate_model(model, rng.standard_normal((4, 4)).astype(np.float32), np.zeros(4, dtype=int))
+    assert model.training
+
+
+def test_evaluate_model_empty_raises(rng):
+    model = MLP((4, 8, 3), batch_norm=False, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        evaluate_model(model, np.zeros((0, 4), dtype=np.float32), np.zeros(0, dtype=int))

@@ -1,0 +1,91 @@
+"""Failure injection: predictors must stay sane on adversarial inputs.
+
+The paper notes prediction error is worst "at the beginning of the training
+process or when the learning rate is tuned" — these tests feed exactly
+those regimes (cold starts, constant series, sudden jumps, extreme scales)
+and require finite, bounded behaviour rather than accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import LSTMLossPredictor, LSTMStepPredictor
+
+
+@pytest.fixture
+def loss_pred():
+    return LSTMLossPredictor(hidden_size=8, window=6, lr=0.1, seed=0)
+
+
+@pytest.fixture
+def step_pred():
+    return LSTMStepPredictor(hidden_size=8, window=4, max_step=32, lr=0.1, seed=0)
+
+
+class TestLossPredictorRobustness:
+    def test_constant_series(self, loss_pred):
+        for _ in range(40):
+            loss_pred.observe(2.0)
+        forecast = loss_pred.predict_next()
+        assert np.isfinite(forecast)
+        assert abs(forecast - 2.0) < 1.0
+        assert np.isfinite(loss_pred.predict_delay(2.0, 10))
+
+    def test_sudden_jump(self, loss_pred):
+        for v in np.linspace(3.0, 2.0, 30):
+            loss_pred.observe(v)
+        loss_pred.observe(50.0)  # divergence spike
+        assert np.isfinite(loss_pred.predict_next())
+        assert np.isfinite(loss_pred.predict_delay(50.0, 5))
+
+    def test_tiny_scale(self, loss_pred):
+        for v in np.linspace(1e-6, 5e-7, 30):
+            loss_pred.observe(v)
+        d = loss_pred.predict_delay(5e-7, 8)
+        assert np.isfinite(d)
+
+    def test_huge_scale(self, loss_pred):
+        for v in np.linspace(1e6, 9e5, 30):
+            loss_pred.observe(v)
+        assert np.isfinite(loss_pred.predict_delay(9e5, 4))
+
+    def test_rising_series(self, loss_pred):
+        for v in np.linspace(1.0, 4.0, 40):
+            loss_pred.observe(v)
+        forecast = loss_pred.predict_next()
+        assert np.isfinite(forecast)
+        # rising input should not forecast a collapse to zero
+        assert forecast > 0.5
+
+    def test_train_every_skips_updates(self):
+        p = LSTMLossPredictor(hidden_size=8, window=6, train_every=4, seed=0)
+        for v in np.linspace(3.0, 2.0, 20):
+            p.observe(v)
+        assert np.isfinite(p.predict_delay(2.0, 3))
+
+
+class TestStepPredictorRobustness:
+    def test_constant_then_spike(self, step_pred):
+        for _ in range(30):
+            step_pred.observe(0, 3.0, 0.01, 0.02)
+        step_pred.observe(0, 30.0, 0.5, 0.9)  # straggler event
+        k = step_pred.predict(0, 0.01, 0.02)
+        assert 0 <= k <= 32
+
+    def test_zero_costs(self, step_pred):
+        for _ in range(20):
+            step_pred.observe(0, 1.0, 0.0, 0.0)
+        assert 0 <= step_pred.predict(0, 0.0, 0.0) <= 32
+
+    def test_unseen_worker_uses_population_mean(self, step_pred):
+        for _ in range(20):
+            step_pred.observe(0, 10.0, 0.01, 0.02)
+        k = step_pred.predict(99, 0.01, 0.02)
+        assert 5 <= k <= 15  # falls back near the global mean
+
+    def test_many_workers_bounded_memory(self, step_pred):
+        for worker in range(50):
+            step_pred.observe(worker, float(worker % 7), 0.01, 0.02)
+        assert len(step_pred._histories) == 50
+        for history in step_pred._histories.values():
+            assert len(history) <= step_pred.window

@@ -1,0 +1,44 @@
+"""Message payload dataclasses (worker <-> server wire format)."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import CompensationReply, GradientPayload, WorkerState
+
+
+class TestWorkerState:
+    def test_valid_construction(self):
+        state = WorkerState(worker=3, loss=1.5, t_comm=0.01, t_comp=0.02, pull_version=7)
+        assert state.worker == 3
+        assert state.bn_stats == []
+
+    def test_rejects_nan_and_inf_loss(self):
+        with pytest.raises(ValueError):
+            WorkerState(worker=0, loss=float("nan"))
+        with pytest.raises(ValueError):
+            WorkerState(worker=0, loss=float("inf"))
+
+
+class TestGradientPayload:
+    def test_grad_coerced_to_float64(self):
+        payload = GradientPayload(worker=0, grad=np.ones(4, dtype=np.float32), pull_version=0)
+        assert payload.grad.dtype == np.float64
+
+    def test_nbytes_defaults_to_wire_format(self):
+        payload = GradientPayload(worker=0, grad=np.ones(100), pull_version=0)
+        assert payload.nbytes == 400  # float32 on the wire
+
+    def test_explicit_nbytes_kept(self):
+        payload = GradientPayload(worker=0, grad=np.ones(10), pull_version=0, nbytes=999)
+        assert payload.nbytes == 999
+
+
+class TestCompensationReply:
+    def test_fields(self):
+        reply = CompensationReply(worker=1, l_delay=3.5, predicted_step=4, sensitivity=0.2)
+        assert reply.l_delay == 3.5
+        assert reply.sensitivity == 0.2
+
+    def test_sensitivity_defaults_zero(self):
+        reply = CompensationReply(worker=1, l_delay=1.0, predicted_step=2)
+        assert reply.sensitivity == 0.0

@@ -1,0 +1,73 @@
+"""Evaluation cadence, curve bookkeeping and model-variant integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedTrainer, TrainingConfig
+
+
+def test_eval_every_epochs_halves_points():
+    base = TrainingConfig.tiny(algorithm="asgd", epochs=4, seed=0)
+    dense = DistributedTrainer(base).run()
+    sparse_cfg = base.with_overrides(eval_every_epochs=2)
+    sparse = DistributedTrainer(sparse_cfg).run()
+    assert len(dense.curve) == 4
+    assert len(sparse.curve) == 2
+    # same final epoch either way
+    assert sparse.curve[-1].epoch == dense.curve[-1].epoch
+
+
+def test_resnet_through_distributed_trainer():
+    """The full conv/BN2d path works end to end inside the simulator."""
+    cfg = TrainingConfig.tiny(
+        algorithm="lc-asgd",
+        num_workers=2,
+        epochs=1,
+        seed=0,
+        model="resnet_tiny",
+        model_kwargs={"base_width": 4},
+    )
+    result = DistributedTrainer(cfg).run()
+    assert result.total_updates == 8
+    assert np.isfinite(result.final_test_error)
+
+
+def test_spirals_dataset_through_trainer():
+    cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=2, epochs=2, seed=0)
+    cfg = cfg.with_overrides(
+        dataset="spirals",
+        dataset_kwargs={"num_samples": 300, "num_classes": 3, "test_size": 60},
+        model_kwargs={"hidden": (16,), "batch_norm": False},
+    )
+    result = DistributedTrainer(cfg).run()
+    assert result.final_test_error < 0.9
+
+
+def test_no_bn_model_in_replace_mode_runs():
+    """A model without BN layers must work under any bn_mode (empty stats)."""
+    cfg = TrainingConfig.tiny(
+        algorithm="asgd",
+        num_workers=2,
+        epochs=1,
+        seed=0,
+        bn_mode="replace",
+        model_kwargs={"hidden": (16,), "batch_norm": False},
+    )
+    result = DistributedTrainer(cfg).run()
+    assert result.total_updates > 0
+
+
+def test_curve_times_strictly_positive_and_increasing():
+    cfg = TrainingConfig.tiny(algorithm="ssgd", num_workers=2, epochs=3, seed=1)
+    result = DistributedTrainer(cfg).run()
+    times = result.times()
+    assert (times > 0).all()
+    assert (np.diff(times) > 0).all()
+
+
+def test_momentum_config_affects_training():
+    base = TrainingConfig.tiny(algorithm="asgd", epochs=2, seed=3)
+    with_momentum = base.with_overrides(momentum=0.9)
+    r0 = DistributedTrainer(base).run()
+    r1 = DistributedTrainer(with_momentum).run()
+    assert r0.curve[-1].train_loss != r1.curve[-1].train_loss

@@ -1,0 +1,215 @@
+"""Datasets, loaders, splits and synthetic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    BatchSampler,
+    DataLoader,
+    SyntheticCIFAR10,
+    SyntheticImageNet,
+    make_image_classification,
+    make_regression_series,
+    make_spirals,
+    train_test_split,
+)
+
+
+class TestArrayDataset:
+    def test_len_and_indexing(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 3)), np.arange(10))
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x.shape == (3,) and y == 3
+        xs, ys = ds[np.array([1, 4])]
+        assert xs.shape == (2, 3)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((10, 3)), np.arange(9))
+
+    def test_subset(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 3)), np.arange(10))
+        sub = ds.subset(np.array([0, 5]))
+        assert len(sub) == 2
+        assert sub.targets.tolist() == [0, 5]
+
+    def test_input_shape(self, rng):
+        ds = ArrayDataset(rng.standard_normal((4, 3, 2, 2)), np.zeros(4))
+        assert ds.input_shape == (3, 2, 2)
+
+
+class TestSplit:
+    def test_split_sizes(self, rng):
+        ds = ArrayDataset(rng.standard_normal((100, 2)), np.zeros(100))
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert len(train) == 75 and len(test) == 25
+
+    def test_split_disjoint(self, rng):
+        data = np.arange(50).reshape(50, 1).astype(float)
+        ds = ArrayDataset(data, np.zeros(50))
+        train, test = train_test_split(ds, seed=1)
+        union = set(train.inputs[:, 0]) | set(test.inputs[:, 0])
+        assert len(union) == 50
+
+    def test_split_validation(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 2)), np.zeros(10))
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=0.0)
+
+
+class TestSampler:
+    def test_covers_epoch(self):
+        sampler = BatchSampler(10, 3, shuffle=True, seed=0)
+        seen = np.concatenate([sampler.next_batch() for _ in range(4)])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_drop_last(self):
+        sampler = BatchSampler(10, 3, shuffle=False, drop_last=True, seed=0)
+        assert sampler.batches_per_epoch() == 3
+        for _ in range(6):
+            assert len(sampler.next_batch()) == 3
+
+    def test_batch_larger_than_dataset_clamped(self):
+        sampler = BatchSampler(5, 100, seed=0)
+        assert sampler.batch_size == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchSampler(0, 3)
+        with pytest.raises(ValueError):
+            BatchSampler(5, 0)
+
+    def test_deterministic_given_seed(self):
+        a = BatchSampler(20, 5, seed=3)
+        b = BatchSampler(20, 5, seed=3)
+        for _ in range(8):
+            np.testing.assert_array_equal(a.next_batch(), b.next_batch())
+
+
+class TestLoader:
+    def test_iteration(self, rng):
+        ds = ArrayDataset(rng.standard_normal((20, 2)), np.arange(20))
+        loader = DataLoader(ds, 6, seed=0)
+        batches = list(loader)
+        assert len(batches) == len(loader) == 4
+        assert sum(len(y) for _, y in batches) == 20
+
+    def test_next_batch_stream(self, rng):
+        ds = ArrayDataset(rng.standard_normal((8, 2)), np.arange(8))
+        loader = DataLoader(ds, 4, seed=0)
+        for _ in range(10):
+            x, y = loader.next_batch()
+            assert x.shape[0] == 4
+
+
+class TestSynthetic:
+    def test_cifar_shapes(self):
+        ds = SyntheticCIFAR10(train_size=128, test_size=32, side=8, seed=0)
+        assert ds.train.inputs.shape == (128, 3, 8, 8)
+        assert ds.test.inputs.shape == (32, 3, 8, 8)
+        assert ds.input_shape == (3, 8, 8)
+        assert set(np.unique(ds.train.targets)) <= set(range(10))
+
+    def test_imagenet_shapes(self):
+        ds = SyntheticImageNet(train_size=108, test_size=27, side=12, seed=0)
+        assert ds.train.inputs.shape == (108, 3, 12, 12)
+        assert ds.num_classes == 27  # paper's 27 high-level categories
+
+    def test_deterministic(self):
+        a = SyntheticCIFAR10(train_size=64, test_size=16, seed=5)
+        b = SyntheticCIFAR10(train_size=64, test_size=16, seed=5)
+        np.testing.assert_array_equal(a.train.inputs, b.train.inputs)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCIFAR10(train_size=64, test_size=16, seed=5)
+        b = SyntheticCIFAR10(train_size=64, test_size=16, seed=6)
+        assert not np.array_equal(a.train.inputs, b.train.inputs)
+
+    def test_standardized(self):
+        ds = SyntheticCIFAR10(train_size=512, test_size=128, seed=0)
+        all_px = np.concatenate([ds.train.inputs.ravel(), ds.test.inputs.ravel()])
+        assert abs(all_px.mean()) < 0.05
+        assert abs(all_px.std() - 1.0) < 0.05
+
+    def test_learnable_but_not_trivial(self):
+        """A linear probe should beat chance but not saturate: the task has
+        class structure (learnable) plus overlap (noise floor)."""
+        ds = SyntheticCIFAR10(train_size=1024, test_size=512, noise=1.2, seed=0)
+        x = ds.train.inputs.reshape(len(ds.train), -1)
+        y = ds.train.targets
+        xt = ds.test.inputs.reshape(len(ds.test), -1)
+        # closed-form ridge regression on one-hot targets
+        onehot = np.eye(10)[y]
+        w = np.linalg.solve(x.T @ x + 10.0 * np.eye(x.shape[1]), x.T @ onehot)
+        acc = (xt @ w).argmax(1).__eq__(ds.test.targets).mean()
+        assert 0.3 < acc < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_image_classification(5, 10)
+        with pytest.raises(ValueError):
+            make_image_classification(100, 1)
+        with pytest.raises(ValueError):
+            make_image_classification(100, 10, side=1)
+
+    def test_spirals(self):
+        ds = make_spirals(num_samples=300, num_classes=3, seed=0)
+        assert ds.inputs.shape[1] == 2
+        assert set(np.unique(ds.targets)) == {0, 1, 2}
+        with pytest.raises(ValueError):
+            make_spirals(num_classes=1)
+
+    def test_regression_series_kinds(self):
+        for kind in ("decay", "step", "noisy"):
+            series = make_regression_series(128, kind=kind, seed=0)
+            assert series.shape == (128,)
+            assert series[0] > series[-1]  # loss-like: decreasing overall
+        with pytest.raises(ValueError):
+            make_regression_series(128, kind="bogus")
+        with pytest.raises(ValueError):
+            make_regression_series(1)
+
+
+class TestPartition:
+    def test_partition_complete_and_disjoint(self):
+        from repro.data import partition_indices
+
+        parts = partition_indices(20, 3, seed=0)
+        combined = np.concatenate(parts)
+        assert sorted(combined.tolist()) == list(range(20))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_dataset(self, rng):
+        from repro.data import shard_dataset
+
+        ds = ArrayDataset(rng.standard_normal((10, 2)), np.arange(10))
+        shards = shard_dataset(ds, 3, seed=0)
+        assert sum(len(s) for s in shards) == 10
+
+    def test_partition_validation(self):
+        from repro.data import partition_indices
+
+        with pytest.raises(ValueError):
+            partition_indices(3, 5)
+        with pytest.raises(ValueError):
+            partition_indices(0, 1)
+        with pytest.raises(ValueError):
+            partition_indices(5, 0)
+
+    @given(st.integers(1, 100), st.integers(1, 10), st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, n, k, seed):
+        from repro.data import partition_indices
+
+        if k > n:
+            return
+        parts = partition_indices(n, k, seed=seed)
+        combined = sorted(np.concatenate(parts).tolist())
+        assert combined == list(range(n))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,132 @@
+"""Layer-level behaviour: Linear, Conv2d, activations, pooling, containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+from tests.conftest import assert_gradcheck
+
+
+def test_linear_shapes(rng):
+    lin = nn.Linear(5, 3, rng=rng)
+    out = lin(Tensor(rng.standard_normal((7, 5)).astype(np.float32)))
+    assert out.shape == (7, 3)
+
+
+def test_linear_no_bias(rng):
+    lin = nn.Linear(5, 3, bias=False, rng=rng)
+    assert lin.bias is None
+    assert len(lin.parameters()) == 1
+
+
+def test_linear_validation():
+    with pytest.raises(ValueError):
+        nn.Linear(0, 3)
+
+
+def test_linear_gradcheck(rng):
+    lin = nn.Linear(4, 3, rng=rng)
+    lin.weight.data = lin.weight.data.astype(np.float64)
+    lin.bias.data = lin.bias.data.astype(np.float64)
+    x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+    assert_gradcheck(lambda: (lin(x) ** 2).sum(), [x, lin.weight, lin.bias])
+
+
+def test_conv_layer_shapes(rng):
+    conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+    out = conv(Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+    assert out.shape == (2, 8, 4, 4)
+
+
+def test_conv_layer_validation():
+    with pytest.raises(ValueError):
+        nn.Conv2d(0, 3, 3)
+    with pytest.raises(ValueError):
+        nn.Conv2d(3, 3, 3, stride=0)
+
+
+def test_conv_no_bias(rng):
+    conv = nn.Conv2d(3, 4, 3, bias=False, rng=rng)
+    assert conv.bias is None
+
+
+def test_activations_forward(rng):
+    x = Tensor(np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32))
+    assert (nn.ReLU()(x).data == np.array([0, 0, 0.5, 2.0], dtype=np.float32)).all()
+    np.testing.assert_allclose(nn.Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)), rtol=1e-6)
+    np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh(x.data), rtol=1e-6)
+    leaky = nn.LeakyReLU(0.1)(x).data
+    np.testing.assert_allclose(leaky, np.where(x.data > 0, x.data, 0.1 * x.data), rtol=1e-6)
+    gelu = nn.GELU()(x).data
+    assert gelu[3] == pytest.approx(1.954, abs=1e-2)  # gelu(2) ~ 1.954
+    assert gelu[0] == pytest.approx(-0.0454, abs=1e-2)  # gelu(-2) ~ -0.045
+
+
+def test_pooling_layers(rng):
+    x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+    assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+    assert nn.AvgPool2d(2)(x).shape == (2, 3, 4, 4)
+    assert nn.GlobalAvgPool2d()(x).shape == (2, 3)
+
+
+def test_sequential(rng):
+    seq = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+    assert len(seq) == 3
+    out = seq(Tensor(rng.standard_normal((3, 4)).astype(np.float32)))
+    assert out.shape == (3, 2)
+    assert isinstance(seq[0], nn.Linear)
+    assert isinstance(seq[-1], nn.Linear)
+    with pytest.raises(IndexError):
+        seq[3]
+    assert len(list(iter(seq))) == 3
+
+
+def test_module_list(rng):
+    ml = nn.ModuleList([nn.Linear(2, 2, rng=rng)])
+    ml.append(nn.Linear(2, 2, rng=rng))
+    assert len(ml) == 2
+    assert len(list(ml)) == 2
+    assert len(list(ml[0].parameters())) == 2
+    with pytest.raises(IndexError):
+        ml[5]
+
+
+def test_loss_modules(rng):
+    ce = nn.CrossEntropyLoss()
+    logits = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+    loss = ce(logits, np.array([0, 1, 2, 0]))
+    assert loss.shape == ()
+    mse = nn.MSELoss()
+    pred = Tensor(rng.standard_normal(5).astype(np.float32))
+    assert mse(pred, np.zeros(5)).shape == ()
+    with pytest.raises(ValueError):
+        nn.CrossEntropyLoss(reduction="bogus")
+    with pytest.raises(ValueError):
+        nn.MSELoss(reduction="bogus")
+
+
+def test_initializers_statistics():
+    from repro.nn import init
+
+    gen = np.random.default_rng(0)
+    w = init.he_normal((512, 256), gen)
+    assert w.std() == pytest.approx(np.sqrt(2.0 / 256), rel=0.1)
+    w = init.xavier_uniform((512, 256), gen)
+    bound = np.sqrt(6.0 / (512 + 256))
+    assert np.abs(w).max() <= bound + 1e-6
+    w = init.lecun_uniform((100, 64), gen)
+    assert np.abs(w).max() <= 1 / np.sqrt(64) + 1e-6
+    with pytest.raises(ValueError):
+        init.get_initializer("bogus")
+    with pytest.raises(ValueError):
+        init._fans((2, 3, 4))
+
+
+def test_conv_fans():
+    from repro.nn.init import _fans
+
+    fan_in, fan_out = _fans((8, 4, 3, 3))
+    assert fan_in == 4 * 9
+    assert fan_out == 8 * 9

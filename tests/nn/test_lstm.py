@@ -1,0 +1,95 @@
+"""LSTM cell and stacked-LSTM behaviour plus gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+from tests.conftest import assert_gradcheck
+
+
+def _f64(module):
+    for p in module.parameters():
+        p.data = p.data.astype(np.float64)
+    return module
+
+
+def test_cell_shapes(rng):
+    cell = nn.LSTMCell(3, 5, rng=rng)
+    h, c = cell.initial_state(4)
+    h2, c2 = cell(Tensor(rng.standard_normal((4, 3)).astype(np.float32)), (h, c))
+    assert h2.shape == (4, 5)
+    assert c2.shape == (4, 5)
+
+
+def test_cell_forget_bias_initialized():
+    cell = nn.LSTMCell(2, 3, rng=np.random.default_rng(0))
+    assert (cell.bias.data[3:6] == 1.0).all()
+    assert (cell.bias.data[:3] == 0.0).all()
+
+
+def test_cell_validation():
+    with pytest.raises(ValueError):
+        nn.LSTMCell(0, 3)
+
+
+def test_lstm_output_shapes(rng):
+    lstm = nn.LSTM(3, 6, num_layers=2, rng=rng)
+    x = Tensor(rng.standard_normal((4, 7, 3)).astype(np.float32))
+    out, states = lstm(x)
+    assert out.shape == (4, 7, 6)
+    assert len(states) == 2
+    for h, c in states:
+        assert h.shape == (4, 6)
+
+
+def test_lstm_state_threading(rng):
+    """Feeding a sequence in two halves with carried state == one pass."""
+    lstm = nn.LSTM(2, 4, num_layers=1, rng=rng)
+    x = Tensor(rng.standard_normal((1, 6, 2)).astype(np.float32))
+    full, _ = lstm(x)
+    first, state = lstm(x[:, :3, :])
+    second, _ = lstm(x[:, 3:, :], state)
+    np.testing.assert_allclose(second.data, full.data[:, 3:, :], rtol=1e-5, atol=1e-6)
+
+
+def test_lstm_validation(rng):
+    with pytest.raises(ValueError):
+        nn.LSTM(2, 3, num_layers=0)
+    lstm = nn.LSTM(2, 3, rng=rng)
+    with pytest.raises(ValueError, match=r"\(N, T, D\)"):
+        lstm(Tensor(rng.standard_normal((4, 2)).astype(np.float32)))
+    with pytest.raises(ValueError, match="state has"):
+        lstm(Tensor(rng.standard_normal((1, 2, 2)).astype(np.float32)), state=[])
+
+
+def test_lstm_gradcheck_small(rng):
+    lstm = _f64(nn.LSTM(2, 3, num_layers=2, rng=rng))
+    x = Tensor(rng.standard_normal((2, 4, 2)), requires_grad=True)
+    params = [x] + list(lstm.parameters())
+    assert_gradcheck(lambda: (lstm(x)[0] ** 2).sum(), params, atol=1e-5, rtol=1e-3)
+
+
+def test_lstm_learns_sign_task(rng):
+    """Sanity: a small LSTM fits 'predict sign of the running sum'."""
+    from repro.optim import SGD
+    from repro.tensor import functional as F
+
+    gen = np.random.default_rng(0)
+    lstm = nn.LSTM(1, 8, rng=gen)
+    head = nn.Linear(8, 2, rng=gen)
+    params = lstm.parameters() + head.parameters()
+    opt = SGD(params, lr=0.1, momentum=0.9)
+    xs = gen.standard_normal((64, 5, 1)).astype(np.float32)
+    ys = (xs.sum(axis=(1, 2)) > 0).astype(np.int64)
+    losses = []
+    for _ in range(60):
+        out, _ = lstm(Tensor(xs))
+        logits = head(out[:, -1, :])
+        loss = F.cross_entropy(logits, ys)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    assert losses[-1] < losses[0] * 0.5

@@ -1,0 +1,134 @@
+"""Module registration, traversal, state dicts, flat-parameter exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.module import get_flat_grads, get_flat_params, set_flat_params
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def make_model(rng):
+    return nn.MLP((6, 5, 4), batch_norm=True, rng=rng)
+
+
+def test_named_parameters_deterministic(rng):
+    m1 = make_model(np.random.default_rng(0))
+    m2 = make_model(np.random.default_rng(0))
+    names1 = [n for n, _ in m1.named_parameters()]
+    names2 = [n for n, _ in m2.named_parameters()]
+    assert names1 == names2
+    assert len(names1) == len(set(names1))
+
+
+def test_parameter_registration(rng):
+    lin = nn.Linear(3, 2, rng=rng)
+    names = dict(lin.named_parameters())
+    assert set(names) == {"weight", "bias"}
+
+
+def test_buffers_traversal(rng):
+    model = make_model(rng)
+    buffer_names = [n for n, _ in model.named_buffers()]
+    assert any("running_mean" in n for n in buffer_names)
+    assert any("running_var" in n for n in buffer_names)
+
+
+def test_train_eval_propagates(rng):
+    model = make_model(rng)
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_zero_grad(rng):
+    model = make_model(rng)
+    x = Tensor(rng.standard_normal((4, 6)).astype(np.float32))
+    F.cross_entropy(model(x), np.array([0, 1, 2, 3])).backward()
+    assert any(p.grad is not None for p in model.parameters())
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters())
+
+
+def test_state_dict_roundtrip(rng):
+    m1 = make_model(np.random.default_rng(1))
+    m2 = make_model(np.random.default_rng(2))
+    state = m1.state_dict()
+    m2.load_state_dict(state)
+    for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+        assert n1 == n2
+        np.testing.assert_allclose(p1.data, p2.data)
+    for (n1, b1), (n2, b2) in zip(m1.named_buffers(), m2.named_buffers()):
+        np.testing.assert_allclose(b1, b2)
+
+
+def test_load_state_dict_rejects_unknown(rng):
+    model = make_model(rng)
+    with pytest.raises(KeyError):
+        model.load_state_dict({"nonexistent": np.zeros(3)})
+    with pytest.raises(KeyError):
+        model.load_state_dict({"buffer:nonexistent": np.zeros(3)})
+
+
+def test_load_state_dict_rejects_bad_shape(rng):
+    model = make_model(rng)
+    state = model.state_dict()
+    key = next(k for k in state if not k.startswith("buffer:"))
+    state[key] = np.zeros((99, 99))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        model.load_state_dict(state)
+
+
+def test_num_parameters(rng):
+    lin = nn.Linear(3, 2, rng=rng)
+    assert lin.num_parameters() == 3 * 2 + 2
+
+
+def test_flat_params_roundtrip(rng):
+    m1 = make_model(np.random.default_rng(1))
+    m2 = make_model(np.random.default_rng(2))
+    flat = get_flat_params(m1)
+    assert flat.dtype == np.float64
+    assert flat.size == m1.num_parameters()
+    set_flat_params(m2, flat)
+    np.testing.assert_allclose(get_flat_params(m2), flat, rtol=1e-6)
+
+
+def test_set_flat_params_size_validation(rng):
+    model = make_model(rng)
+    flat = get_flat_params(model)
+    with pytest.raises(ValueError):
+        set_flat_params(model, flat[:-1])
+    with pytest.raises(ValueError):
+        set_flat_params(model, np.concatenate([flat, [0.0]]))
+
+
+def test_flat_grads_zero_when_missing(rng):
+    model = make_model(rng)
+    grads = get_flat_grads(model)
+    assert grads.shape == get_flat_params(model).shape
+    np.testing.assert_array_equal(grads, 0.0)
+
+
+def test_flat_grads_after_backward(rng):
+    model = make_model(rng)
+    x = Tensor(rng.standard_normal((8, 6)).astype(np.float32))
+    F.cross_entropy(model(x), rng.integers(0, 4, 8)).backward()
+    grads = get_flat_grads(model)
+    assert np.abs(grads).max() > 0
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_flat_roundtrip_property(seed):
+    """set_flat_params(get_flat_params(m)) is the identity for any init."""
+    rng = np.random.default_rng(seed)
+    model = nn.MLP((4, 3, 2), batch_norm=False, rng=rng)
+    flat = get_flat_params(model)
+    perturbed = flat + np.random.default_rng(seed + 1).standard_normal(flat.size)
+    set_flat_params(model, perturbed)
+    np.testing.assert_allclose(get_flat_params(model), perturbed, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,106 @@
+"""BatchNorm layers: statistics tracking, Async-BN hooks, eval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.norm import bn_layers, collect_bn_stats, count_bn_layers, load_bn_running_stats, set_bn_external
+from repro.tensor import Tensor, no_grad
+
+
+def test_bn1d_normalizes_training(rng):
+    bn = nn.BatchNorm1d(4)
+    x = Tensor((rng.standard_normal((64, 4)) * 5 + 3).astype(np.float32))
+    out = bn(x)
+    np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-5)
+    np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_bn_records_batch_stats(rng):
+    bn = nn.BatchNorm1d(3)
+    x = Tensor(rng.standard_normal((32, 3)).astype(np.float32))
+    bn(x)
+    np.testing.assert_allclose(bn.last_batch_mean, x.data.mean(axis=0), atol=1e-6)
+    np.testing.assert_allclose(bn.last_batch_var, x.data.var(axis=0), atol=1e-6)
+
+
+def test_bn_running_stats_ema(rng):
+    bn = nn.BatchNorm1d(2, momentum=0.5)
+    x = Tensor((rng.standard_normal((128, 2)) + 10.0).astype(np.float32))
+    bn(x)
+    # after one batch: running = 0.5*0 + 0.5*batch_mean
+    np.testing.assert_allclose(bn.running_mean, 0.5 * x.data.mean(axis=0), rtol=1e-4)
+
+
+def test_bn_external_stats_freezes_ema(rng):
+    bn = nn.BatchNorm1d(2)
+    bn.external_stats = True
+    before = bn.running_mean.copy()
+    bn(Tensor((rng.standard_normal((32, 2)) + 5).astype(np.float32)))
+    np.testing.assert_array_equal(bn.running_mean, before)
+    assert bn.last_batch_mean is not None  # stats still recorded for the server
+
+
+def test_bn_eval_uses_running_stats(rng):
+    bn = nn.BatchNorm1d(2)
+    bn.set_buffer("running_mean", np.array([1.0, -1.0]))
+    bn.set_buffer("running_var", np.array([4.0, 9.0]))
+    bn.eval()
+    x = Tensor(np.array([[1.0, -1.0], [3.0, 2.0]], dtype=np.float32))
+    out = bn(x)
+    np.testing.assert_allclose(out.data[0], [0.0, 0.0], atol=1e-5)
+    np.testing.assert_allclose(out.data[1], [1.0, 1.0], atol=1e-3)
+
+
+def test_bn2d_shape_validation(rng):
+    bn = nn.BatchNorm2d(3)
+    with pytest.raises(ValueError, match="4-D"):
+        bn(Tensor(rng.standard_normal((4, 3)).astype(np.float32)))
+
+
+def test_bn_validation():
+    with pytest.raises(ValueError):
+        nn.BatchNorm1d(0)
+    with pytest.raises(ValueError):
+        nn.BatchNorm1d(3, momentum=0.0)
+
+
+def test_collect_and_load_bn_stats(rng):
+    model = nn.MLP((6, 5, 4, 3), batch_norm=True, rng=rng)
+    assert count_bn_layers(model) == 2
+    model(Tensor(rng.standard_normal((16, 6)).astype(np.float32)))
+    stats = collect_bn_stats(model)
+    assert len(stats) == 2
+    # load scaled stats back and verify buffers updated
+    new_stats = [(m + 1.0, v + 1.0) for m, v in stats]
+    load_bn_running_stats(model, new_stats)
+    for layer, (m, v) in zip(bn_layers(model), new_stats):
+        np.testing.assert_allclose(layer.running_mean, m)
+        np.testing.assert_allclose(layer.running_var, v)
+
+
+def test_collect_before_any_batch_uses_running(rng):
+    model = nn.MLP((4, 3, 2), batch_norm=True, rng=rng)
+    stats = collect_bn_stats(model)
+    np.testing.assert_array_equal(stats[0][0], np.zeros(3))
+    np.testing.assert_array_equal(stats[0][1], np.ones(3))
+
+
+def test_load_bn_stats_validation(rng):
+    model = nn.MLP((4, 3, 2), batch_norm=True, rng=rng)
+    with pytest.raises(ValueError, match="BN layers"):
+        load_bn_running_stats(model, [])
+    with pytest.raises(ValueError, match="shape"):
+        load_bn_running_stats(model, [(np.zeros(99), np.ones(99))])
+
+
+def test_load_bn_stats_clamps_negative_var(rng):
+    model = nn.MLP((4, 3, 2), batch_norm=True, rng=rng)
+    load_bn_running_stats(model, [(np.zeros(3), -np.ones(3))])
+    assert (bn_layers(model)[0].running_var >= 0).all()
+
+
+def test_set_bn_external(rng):
+    model = nn.MLP((4, 3, 2), batch_norm=True, rng=rng)
+    set_bn_external(model, True)
+    assert all(l.external_stats for l in bn_layers(model))

@@ -1,0 +1,96 @@
+"""ResNet family: topology, shapes, trainability."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def test_tiny_forward_shape(rng):
+    net = nn.resnet_tiny(num_classes=10, base_width=4, rng=rng)
+    out = net(Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+    assert out.shape == (2, 10)
+
+
+def test_resnet18_block_count(rng):
+    net = nn.resnet18(base_width=4, rng=rng)
+    blocks = [m for m in net.modules() if isinstance(m, nn.BasicBlock)]
+    assert len(blocks) == 8  # (2, 2, 2, 2)
+
+
+def test_resnet50_bottleneck_count(rng):
+    net = nn.resnet50(base_width=4, rng=rng)
+    blocks = [m for m in net.modules() if isinstance(m, nn.Bottleneck)]
+    assert len(blocks) == 16  # (3, 4, 6, 3)
+
+
+def test_resnet50_forward(rng):
+    net = nn.resnet50(num_classes=5, base_width=4, rng=rng)
+    out = net(Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32)))
+    assert out.shape == (1, 5)
+
+
+def test_projection_shortcuts_on_stride(rng):
+    net = nn.resnet_tiny(base_width=4, rng=rng)
+    blocks = [m for m in net.modules() if isinstance(m, nn.BasicBlock)]
+    # first stage keeps resolution (identity shortcut), later stages project
+    assert blocks[0].shortcut is None
+    assert blocks[1].shortcut is not None
+    assert blocks[2].shortcut is not None
+
+
+def test_custom_in_channels(rng):
+    net = nn.resnet_tiny(in_channels=1, base_width=4, rng=rng)
+    out = net(Tensor(rng.standard_normal((2, 1, 8, 8)).astype(np.float32)))
+    assert out.shape == (2, 10)
+
+
+def test_invalid_layers():
+    with pytest.raises(ValueError):
+        nn.ResNet(nn.BasicBlock, [], rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        nn.ResNet(nn.BasicBlock, [0], rng=np.random.default_rng(0))
+
+
+def test_resnet_trains_on_tiny_task(rng):
+    """A few steps of SGD must reduce the loss of resnet_tiny."""
+    from repro.optim import SGD
+
+    gen = np.random.default_rng(0)
+    net = nn.resnet_tiny(num_classes=3, base_width=4, rng=gen)
+    x = gen.standard_normal((24, 3, 8, 8)).astype(np.float32)
+    y = gen.integers(0, 3, 24)
+    opt = SGD(net.parameters(), lr=0.05, momentum=0.9)
+    losses = []
+    for _ in range(12):
+        loss = F.cross_entropy(net(Tensor(x)), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    assert losses[-1] < losses[0] * 0.7
+
+
+def test_eval_mode_uses_running_stats(rng):
+    net = nn.resnet_tiny(base_width=4, rng=rng)
+    x = Tensor(rng.standard_normal((4, 3, 8, 8)).astype(np.float32))
+    net(x)  # one training pass to populate stats
+    net.eval()
+    out1 = net(x)
+    out2 = net(x)
+    np.testing.assert_allclose(out1.data, out2.data)  # deterministic in eval
+
+
+def test_mlp_shapes_and_validation(rng):
+    mlp = nn.MLP((12, 8, 4), batch_norm=True, rng=rng)
+    out = mlp(Tensor(rng.standard_normal((5, 12)).astype(np.float32)))
+    assert out.shape == (5, 4)
+    # 4-D input is flattened
+    out = mlp(Tensor(rng.standard_normal((5, 3, 2, 2)).astype(np.float32)))
+    assert out.shape == (5, 4)
+    with pytest.raises(ValueError):
+        nn.MLP((5,))
+    with pytest.raises(ValueError):
+        nn.MLP((5, 0, 2))

@@ -1,0 +1,68 @@
+"""Learning-rate schedule behaviour (the paper's step decay included)."""
+
+import math
+
+import pytest
+
+from repro.optim import ConstantLR, CosineLR, MultiStepLR
+
+
+def test_constant():
+    sched = ConstantLR(0.3)
+    assert sched(0) == 0.3
+    assert sched(1000) == 0.3
+
+
+def test_paper_cifar_schedule():
+    """lr 0.3 divided by ten after epochs 80 and 120 (Section 5.1)."""
+    sched = MultiStepLR(0.3, milestones=(80, 120), gamma=0.1)
+    assert sched(0) == pytest.approx(0.3)
+    assert sched(79) == pytest.approx(0.3)
+    assert sched(80) == pytest.approx(0.03)
+    assert sched(119) == pytest.approx(0.03)
+    assert sched(120) == pytest.approx(0.003)
+    assert sched(159) == pytest.approx(0.003)
+
+
+def test_paper_imagenet_schedule():
+    """lr reduced by ten times at the 60th and 90th epoch (Section 5.2)."""
+    sched = MultiStepLR(0.3, milestones=(60, 90))
+    assert sched(59) == pytest.approx(0.3)
+    assert sched(60) == pytest.approx(0.03)
+    assert sched(90) == pytest.approx(0.003)
+
+
+def test_multistep_validation():
+    with pytest.raises(ValueError):
+        MultiStepLR(0.3, milestones=(120, 80))
+    with pytest.raises(ValueError):
+        MultiStepLR(0.3, milestones=(80,), gamma=0.0)
+    with pytest.raises(ValueError):
+        MultiStepLR(0.0, milestones=())
+
+
+def test_multistep_empty_milestones():
+    sched = MultiStepLR(0.1, milestones=())
+    assert sched(50) == pytest.approx(0.1)
+
+
+def test_cosine_endpoints():
+    sched = CosineLR(1.0, total_epochs=10, min_lr=0.1)
+    assert sched(0) == pytest.approx(1.0)
+    assert sched(10) == pytest.approx(0.1)
+    assert sched(5) == pytest.approx(0.55)
+    # clamps outside the range
+    assert sched(20) == pytest.approx(0.1)
+
+
+def test_cosine_monotone_decreasing():
+    sched = CosineLR(1.0, total_epochs=20)
+    values = [sched(e) for e in range(21)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_cosine_validation():
+    with pytest.raises(ValueError):
+        CosineLR(1.0, total_epochs=0)
+    with pytest.raises(ValueError):
+        CosineLR(1.0, total_epochs=10, min_lr=2.0)

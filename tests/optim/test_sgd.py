@@ -1,0 +1,111 @@
+"""SGD optimizer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value], dtype=np.float64))
+    p.grad = np.array([grad], dtype=np.float64)
+    return p
+
+
+def test_plain_step():
+    p = make_param()
+    SGD([p], lr=0.1).step()
+    assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+
+def test_skips_missing_grad():
+    p = Parameter(np.array([1.0]))
+    SGD([p], lr=0.1).step()
+    assert p.data[0] == 1.0
+
+
+def test_weight_decay():
+    p = make_param(value=2.0, grad=0.0)
+    SGD([p], lr=0.1, weight_decay=0.5).step()
+    assert p.data[0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+
+def test_momentum_accumulates():
+    p = make_param(grad=1.0)
+    opt = SGD([p], lr=1.0, momentum=0.5)
+    opt.step()  # v=1, w=1-1=0
+    p.grad = np.array([1.0])
+    opt.step()  # v=1.5, w=0-1.5=-1.5
+    assert p.data[0] == pytest.approx(-1.5)
+
+
+def test_nesterov_differs_from_classical():
+    p1, p2 = make_param(grad=1.0), make_param(grad=1.0)
+    SGD([p1], lr=0.1, momentum=0.9).step()
+    SGD([p2], lr=0.1, momentum=0.9, nesterov=True).step()
+    assert p1.data[0] != p2.data[0]
+
+
+def test_grad_clipping():
+    p = make_param(grad=100.0)
+    opt = SGD([p], lr=1.0, max_grad_norm=1.0)
+    opt.step()
+    assert p.data[0] == pytest.approx(0.0, abs=1e-9)  # clipped grad = 1.0
+
+
+def test_clip_no_op_when_small():
+    p = make_param(grad=0.5)
+    SGD([p], lr=1.0, max_grad_norm=10.0).step()
+    assert p.data[0] == pytest.approx(0.5)
+
+
+def test_zero_grad():
+    p = make_param()
+    opt = SGD([p], lr=0.1)
+    opt.zero_grad()
+    assert p.grad is None
+
+
+def test_validation():
+    p = make_param()
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+    with pytest.raises(ValueError):
+        SGD([p], lr=0.0)
+    with pytest.raises(ValueError):
+        SGD([p], lr=0.1, momentum=-1)
+    with pytest.raises(ValueError):
+        SGD([p], lr=0.1, nesterov=True)
+
+
+def test_state_dict_roundtrip():
+    p = make_param(grad=1.0)
+    opt = SGD([p], lr=0.2, momentum=0.9)
+    opt.step()
+    state = opt.state_dict()
+    p2 = make_param(grad=1.0)
+    opt2 = SGD([p2], lr=0.1)
+    opt2.load_state_dict(state)
+    assert opt2.lr == 0.2
+    assert opt2.momentum == 0.9
+    assert opt2._velocity[0] is not None
+
+
+def test_state_dict_size_mismatch():
+    p = make_param()
+    opt = SGD([p], lr=0.1)
+    state = opt.state_dict()
+    state["velocity"] = []
+    with pytest.raises(ValueError):
+        opt.load_state_dict(state)
+
+
+def test_converges_on_quadratic():
+    """SGD with momentum minimizes a simple quadratic."""
+    p = Parameter(np.array([5.0, -3.0]))
+    opt = SGD([p], lr=0.1, momentum=0.9)
+    for _ in range(300):
+        p.grad = 2 * p.data  # d/dx of ||x||^2
+        opt.step()
+    assert np.abs(p.data).max() < 1e-3

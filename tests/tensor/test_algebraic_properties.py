@@ -1,0 +1,123 @@
+"""Hypothesis property tests: algebraic identities the engine must satisfy.
+
+These catch silent forward-pass corruption (wrong strides, dtype clobber,
+aliasing bugs) that pointwise unit tests can miss.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def arr(seed: int, *shape) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+shapes = st.tuples(st.integers(1, 4), st.integers(1, 4))
+seeds = st.integers(0, 2**16)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_add_commutes(shape, seed):
+    a, b = arr(seed, *shape), arr(seed + 1, *shape)
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_mul_distributes_over_add(shape, seed):
+    a, b, c = arr(seed, *shape), arr(seed + 1, *shape), arr(seed + 2, *shape)
+    left = (Tensor(a) * (Tensor(b) + Tensor(c))).data
+    right = (Tensor(a) * Tensor(b) + Tensor(a) * Tensor(c)).data
+    np.testing.assert_allclose(left, right, rtol=1e-10, atol=1e-12)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_sub_is_add_neg(shape, seed):
+    a, b = arr(seed, *shape), arr(seed + 1, *shape)
+    np.testing.assert_allclose((Tensor(a) - Tensor(b)).data, (Tensor(a) + (-Tensor(b))).data)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_double_transpose_identity(shape, seed):
+    a = arr(seed, *shape)
+    np.testing.assert_array_equal(Tensor(a).transpose().transpose().data, a)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_reshape_preserves_sum(shape, seed):
+    a = arr(seed, *shape)
+    t = Tensor(a)
+    assert float(t.reshape(-1).sum().data) == float(t.sum().data)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_exp_log_roundtrip(shape, seed):
+    a = np.abs(arr(seed, *shape)) + 0.5
+    np.testing.assert_allclose(Tensor(a).log().exp().data, a, rtol=1e-5)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_relu_plus_negrelu_is_identity(shape, seed):
+    a = arr(seed, *shape)
+    t = Tensor(a)
+    reconstructed = t.relu().data - (-t).relu().data
+    np.testing.assert_allclose(reconstructed, a, rtol=1e-6, atol=1e-7)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_sigmoid_symmetry(shape, seed):
+    a = arr(seed, *shape)
+    s_pos = Tensor(a).sigmoid().data
+    s_neg = Tensor(-a).sigmoid().data
+    np.testing.assert_allclose(s_pos + s_neg, np.ones_like(a), rtol=1e-6)
+
+
+@given(shapes, seeds)
+@settings(max_examples=40, deadline=None)
+def test_softmax_shift_invariance(shape, seed):
+    a = arr(seed, *shape)
+    base = F.softmax(Tensor(a)).data
+    shifted = F.softmax(Tensor(a + 100.0)).data
+    np.testing.assert_allclose(base, shifted, rtol=1e-5, atol=1e-7)
+
+
+@given(seeds, st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_matmul_matches_numpy(seed, n, k, m):
+    a, b = arr(seed, n, k), arr(seed + 1, k, m)
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, rtol=1e-10)
+
+
+@given(seeds, st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_var_matches_numpy(seed, n):
+    a = arr(seed, n, 3)
+    np.testing.assert_allclose(Tensor(a).var(axis=0).data, a.var(axis=0), rtol=1e-8)
+
+
+@given(seeds, st.integers(1, 4), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_backward_linear_in_seed(seed, n, m):
+    """Scaling the backward seed scales every gradient linearly — the
+    property the LC-ASGD compensation coupling relies on."""
+    a = Tensor(arr(seed, n, m), requires_grad=True)
+    out = (a * a).sum()
+    out.backward(np.asarray(1.0))
+    g1 = a.grad.copy()
+    a.grad = None
+    out2 = (a * a).sum()
+    out2.backward(np.asarray(2.5))
+    np.testing.assert_allclose(a.grad, 2.5 * g1, rtol=1e-6)

@@ -1,0 +1,73 @@
+"""Property tests: broadcasting backward is the exact dual of forward."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+
+@st.composite
+def broadcastable_pair(draw):
+    """Two shapes that NumPy can broadcast together."""
+    ndim = draw(st.integers(1, 4))
+    base = [draw(st.integers(1, 4)) for _ in range(ndim)]
+    a_shape, b_shape = [], []
+    for dim in base:
+        choice = draw(st.integers(0, 2))
+        a_shape.append(dim if choice != 0 else 1)
+        b_shape.append(dim if choice != 1 else 1)
+    # optionally drop leading dims from one side
+    drop = draw(st.integers(0, ndim - 1))
+    if draw(st.booleans()):
+        a_shape = a_shape[drop:] or [1]
+    else:
+        b_shape = b_shape[drop:] or [1]
+    return tuple(a_shape), tuple(b_shape)
+
+
+@given(broadcastable_pair(), st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_unbroadcast_matches_sum_of_contributions(shapes, seed):
+    """grad wrt a of sum(a+b) must be the count of times each a-entry was used."""
+    a_shape, b_shape = shapes
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal(a_shape), requires_grad=True)
+    b = Tensor(rng.standard_normal(b_shape), requires_grad=True)
+    out = a + b
+    out.backward(np.ones_like(out.data))
+    out_shape = np.broadcast_shapes(a_shape, b_shape)
+    expected_a = np.prod(out_shape) / np.prod(a_shape)
+    expected_b = np.prod(out_shape) / np.prod(b_shape)
+    assert a.grad.shape == a_shape
+    assert b.grad.shape == b_shape
+    np.testing.assert_allclose(a.grad, np.full(a_shape, expected_a))
+    np.testing.assert_allclose(b.grad, np.full(b_shape, expected_b))
+
+
+@given(broadcastable_pair(), st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_mul_broadcast_grad_shapes(shapes, seed):
+    a_shape, b_shape = shapes
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal(a_shape), requires_grad=True)
+    b = Tensor(rng.standard_normal(b_shape), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == a_shape
+    assert b.grad.shape == b_shape
+    # grad of sum(a*b) wrt a is b summed over the broadcast axes
+    expected = _unbroadcast(
+        np.broadcast_to(b.data, np.broadcast_shapes(a_shape, b_shape)).astype(float), a_shape
+    )
+    np.testing.assert_allclose(a.grad, expected, rtol=1e-6)
+
+
+@given(
+    st.lists(st.integers(1, 5), min_size=1, max_size=4).map(tuple),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_unbroadcast_identity_when_same_shape(shape, seed):
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal(shape)
+    np.testing.assert_array_equal(_unbroadcast(g, shape), g)

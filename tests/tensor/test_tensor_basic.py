@@ -1,0 +1,96 @@
+"""Tensor construction, introspection and basic invariants."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, arange, full, ones, randn, tensor, uniform, zeros
+
+
+def test_python_list_defaults_float32():
+    t = tensor([1.0, 2.0, 3.0])
+    assert t.dtype == np.float32
+
+
+def test_numpy_float64_preserved():
+    t = Tensor(np.zeros(3, dtype=np.float64))
+    assert t.dtype == np.float64
+
+
+def test_shape_ndim_size():
+    t = zeros(2, 3, 4)
+    assert t.shape == (2, 3, 4)
+    assert t.ndim == 3
+    assert t.size == 24
+    assert len(t) == 2
+
+
+def test_item_scalar():
+    assert tensor([3.5]).item() == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        tensor([1.0, 2.0]).item()
+
+
+def test_detach_shares_data():
+    t = tensor([1.0, 2.0], requires_grad=True)
+    d = t.detach()
+    assert not d.requires_grad
+    assert d.data is t.data
+
+
+def test_copy_is_deep():
+    t = tensor([1.0, 2.0])
+    c = t.copy()
+    c.data[0] = 99.0
+    assert t.data[0] == 1.0
+
+
+def test_creation_helpers():
+    assert ones(3).data.sum() == 3
+    assert full((2, 2), 7.0).data.mean() == 7.0
+    assert arange(5).shape == (5,)
+    gen = np.random.default_rng(0)
+    assert randn(4, rng=gen).shape == (4,)
+    u = uniform(100, low=2.0, high=3.0, rng=gen)
+    assert (u.data >= 2.0).all() and (u.data < 3.0).all()
+
+
+def test_creation_with_shape_tuple():
+    assert zeros((2, 3)).shape == (2, 3)
+    assert ones((4,)).shape == (4,)
+    assert randn((2, 2), rng=np.random.default_rng(0)).shape == (2, 2)
+
+
+def test_zero_grad():
+    t = tensor([1.0], requires_grad=True)
+    (t * 2.0).sum().backward()
+    assert t.grad is not None
+    t.zero_grad()
+    assert t.grad is None
+
+
+def test_repr_mentions_requires_grad():
+    assert "requires_grad=True" in repr(tensor([1.0], requires_grad=True))
+    assert "requires_grad" not in repr(tensor([1.0]))
+
+
+def test_comparison_ops_detached():
+    a = tensor([1.0, 2.0], requires_grad=True)
+    mask = a > 1.5
+    assert not mask.requires_grad
+    assert mask.data.tolist() == [False, True]
+    assert (a < 1.5).data.tolist() == [True, False]
+    assert (a >= 2.0).data.tolist() == [False, True]
+    assert (a <= 1.0).data.tolist() == [True, False]
+
+
+def test_backward_requires_grad_flag():
+    t = tensor([1.0])
+    with pytest.raises(RuntimeError):
+        t.backward()
+
+
+def test_backward_seed_broadcast():
+    t = tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+    out = t * 2.0
+    out.backward(np.array(1.0))
+    np.testing.assert_allclose(t.grad, np.full((2, 2), 2.0))

@@ -1,0 +1,22 @@
+"""Logger namespace wiring."""
+
+import logging
+
+from repro.utils.logging import get_logger, set_log_level
+
+
+def test_logger_namespaced():
+    logger = get_logger("something")
+    assert logger.name == "repro.something"
+
+
+def test_logger_already_namespaced():
+    logger = get_logger("repro.core.trainer")
+    assert logger.name == "repro.core.trainer"
+
+
+def test_set_log_level():
+    set_log_level("DEBUG")
+    assert logging.getLogger("repro").level == logging.DEBUG
+    set_log_level("WARNING")
+    assert logging.getLogger("repro").level == logging.WARNING

@@ -1,0 +1,64 @@
+"""RngTree determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngTree, as_generator
+
+
+def test_same_seed_same_streams():
+    a = RngTree(42).child("worker-1").generator("batches")
+    b = RngTree(42).child("worker-1").generator("batches")
+    assert np.array_equal(a.random(16), b.random(16))
+
+
+def test_different_children_independent():
+    tree = RngTree(42)
+    a = tree.child("worker-1").generator("batches").random(64)
+    b = tree.child("worker-2").generator("batches").random(64)
+    assert not np.array_equal(a, b)
+
+
+def test_generator_memoized():
+    tree = RngTree(0)
+    assert tree.generator("x") is tree.generator("x")
+
+
+def test_fresh_generator_restarts_stream():
+    tree = RngTree(0)
+    first = tree.fresh_generator("x").random(8)
+    second = tree.fresh_generator("x").random(8)
+    assert np.array_equal(first, second)
+
+
+def test_child_memoized():
+    tree = RngTree(0)
+    assert tree.child("a") is tree.child("a")
+
+
+def test_name_order_does_not_matter():
+    t1 = RngTree(5)
+    t1.child("a")
+    va = t1.child("b").generator().random(4)
+    t2 = RngTree(5)
+    vb = t2.child("b").generator().random(4)
+    assert np.array_equal(va, vb)
+
+
+def test_seed_must_be_int():
+    with pytest.raises(TypeError):
+        RngTree("not-an-int")  # type: ignore[arg-type]
+
+
+def test_as_generator_coercions():
+    assert isinstance(as_generator(None), np.random.Generator)
+    assert isinstance(as_generator(3), np.random.Generator)
+    gen = np.random.default_rng(0)
+    assert as_generator(gen) is gen
+    assert isinstance(as_generator(RngTree(1), "x"), np.random.Generator)
+    with pytest.raises(TypeError):
+        as_generator(3.5)  # type: ignore[arg-type]
+
+
+def test_as_generator_int_deterministic():
+    assert np.array_equal(as_generator(9).random(4), as_generator(9).random(4))

@@ -1,0 +1,47 @@
+"""Timer accumulation semantics."""
+
+import time
+
+from repro.utils.timer import Timer, WallTimer
+
+
+def test_wall_timer_measures_elapsed():
+    with WallTimer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_accumulates_sections():
+    t = Timer()
+    with t.section("a"):
+        pass
+    with t.section("a"):
+        pass
+    assert t.count("a") == 2
+    assert t.total("a") >= 0.0
+    assert t.mean("a") == t.total("a") / 2
+
+
+def test_timer_unknown_name_zero():
+    t = Timer()
+    assert t.total("nope") == 0.0
+    assert t.count("nope") == 0
+    assert t.mean("nope") == 0.0
+
+
+def test_timer_add_and_names():
+    t = Timer()
+    t.add("x", 1.0)
+    t.add("y", 2.0)
+    t.add("x", 3.0)
+    assert t.names() == ["x", "y"]
+    assert t.total("x") == 4.0
+    assert t.mean("x") == 2.0
+
+
+def test_timer_reset():
+    t = Timer()
+    t.add("x", 1.0)
+    t.reset()
+    assert t.names() == []
+    assert t.total("x") == 0.0

@@ -1,0 +1,38 @@
+"""Validation helper error messages."""
+
+import pytest
+
+from repro.utils.validation import check_in, check_positive, check_probability, check_type
+
+
+def test_check_positive_strict():
+    check_positive("x", 1)
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", 0)
+
+
+def test_check_positive_non_strict():
+    check_positive("x", 0, strict=False)
+    with pytest.raises(ValueError, match="x must be >= 0"):
+        check_positive("x", -1, strict=False)
+
+
+def test_check_probability():
+    check_probability("p", 0.0)
+    check_probability("p", 1.0)
+    with pytest.raises(ValueError):
+        check_probability("p", 1.5)
+    with pytest.raises(ValueError):
+        check_probability("p", -0.1)
+
+
+def test_check_in():
+    check_in("mode", "a", ("a", "b"))
+    with pytest.raises(ValueError, match="mode must be one of"):
+        check_in("mode", "c", ("a", "b"))
+
+
+def test_check_type():
+    check_type("n", 3, int)
+    with pytest.raises(TypeError, match="n must be int"):
+        check_type("n", 3.0, int)
