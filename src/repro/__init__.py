@@ -15,6 +15,10 @@ The package bundles everything the paper depends on:
   (SGD/SSGD/ASGD/DC-ASGD/LC-ASGD), the LSTM loss predictor (Algorithm 3),
   the LSTM step predictor (Algorithm 4), Async-BN (Formulas 6-7) and the
   :class:`~repro.core.trainer.DistributedTrainer` that ties them together.
+* :mod:`repro.runtime` — pluggable execution backends running one
+  :class:`~repro.runtime.session.ExperimentPlan` either on the simulator
+  (``sim``) or on a real concurrent thread-based parameter server
+  (``thread``) with wall-clock staleness.
 * :mod:`repro.bench` — the harness regenerating every table and figure of
   the paper's evaluation section.
 

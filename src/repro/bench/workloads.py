@@ -176,3 +176,43 @@ def imagenet_workload(
 def paper_reference(dataset: str, num_workers: int, algorithm: str) -> Optional[float]:
     """Paper Table 1 test error (%) for a cell, or None if absent."""
     return PAPER_TABLE1.get((dataset, num_workers, algorithm))
+
+
+def throughput_workload(
+    algorithm: str = "asgd",
+    num_workers: int = 4,
+    seed: int = 7,
+    profile: Optional[str] = None,
+    **overrides,
+) -> TrainingConfig:
+    """Small fixed-update workload for the backend throughput benchmark.
+
+    Uses ``max_updates`` (not epochs) so both execution backends process an
+    identical number of gradients and updates/sec is directly comparable.
+    The cluster delay model is irrelevant to the thread backend's clock, so
+    the sim numbers use the same heavy-tailed model as the other benches.
+    """
+    profile = profile or bench_profile()
+    updates = 160 if profile == "fast" else 640
+    defaults = dict(
+        algorithm=algorithm,
+        num_workers=1 if algorithm == "sgd" else num_workers,
+        model="mlp",
+        model_kwargs={"hidden": (64,), "batch_norm": True},
+        dataset="cifar",
+        dataset_kwargs={"train_size": 1024, "test_size": 512, "side": 8, "noise": 1.0},
+        batch_size=64,
+        epochs=1,
+        max_updates=updates,
+        base_lr=0.05,
+        momentum=0.9,
+        lr_milestones=(),
+        bn_mode="local" if algorithm == "sgd" else "async",
+        predictor=_predictors(),
+        cluster=_delay_cluster(0.03),
+        eval_train_samples=256,
+        eval_test_samples=256,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)

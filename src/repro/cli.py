@@ -1,7 +1,10 @@
 """Command-line interface: ``python -m repro run|compare|info``.
 
-A thin veneer over :class:`~repro.core.trainer.DistributedTrainer` for
-users who want the headline experiments without writing Python.
+A thin veneer over :func:`repro.runtime.run_experiment` for users who want
+the headline experiments without writing Python.  ``--backend`` selects the
+execution runtime: ``sim`` (deterministic virtual-time event loop, the
+default) or ``thread`` (real concurrent parameter server; wall-clock time
+and staleness are genuine).
 """
 
 from __future__ import annotations
@@ -11,8 +14,9 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core import DistributedTrainer, TrainingConfig
+from repro.core import TrainingConfig
 from repro.core.config import ALGORITHMS
+from repro.runtime import available_backends, run_experiment
 from repro.version import __version__
 
 
@@ -21,12 +25,17 @@ def _result_payload(result) -> dict:
         "algorithm": result.algorithm,
         "num_workers": result.num_workers,
         "bn_mode": result.bn_mode,
+        "backend": result.backend,
+        "seed": result.seed,
         "final_test_error": result.final_test_error,
         "final_train_error": result.final_train_error,
         "best_test_error": result.best_test_error,
         "total_updates": result.total_updates,
         "total_virtual_time": result.total_virtual_time,
+        "wall_time": result.wall_time,
         "staleness": result.staleness,
+        # Tables 2-3: per-iteration overhead (ms) of the server-side predictors
+        "timers": dict(result.timers),
         "curve": [
             {
                 "epoch": p.epoch,
@@ -56,11 +65,38 @@ def _make_config(args: argparse.Namespace, algorithm: str) -> TrainingConfig:
     )
 
 
+def _backend_options(args: argparse.Namespace) -> dict:
+    if args.backend != "thread":
+        return {}
+    return {"deterministic": args.deterministic}
+
+
+def _print_summary(result) -> None:
+    clock = (
+        f"real {result.wall_time:.1f}s wall-clock"
+        if result.backend == "thread"
+        else f"virtual {result.total_virtual_time:.1f}s"
+    )
+    print(f"final test error: {result.final_test_error:.2%} "
+          f"({clock}, mean staleness {result.staleness['mean']:.1f})")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=8, help="simulated worker count")
+    parser.add_argument("--workers", type=int, default=8, help="worker count")
     parser.add_argument("--dataset", choices=["cifar", "imagenet"], default="cifar")
     parser.add_argument("--epochs", type=int, default=None, help="override preset epochs")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="sim",
+        help="execution runtime: sim (virtual time) or thread (real concurrency)",
+    )
+    parser.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="thread backend only: round-robin scheduling, reproducible runs",
+    )
     parser.add_argument("--json", metavar="PATH", default=None, help="write results as JSON")
 
 
@@ -76,7 +112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
     _add_common(run_p)
 
-    cmp_p = sub.add_parser("compare", help="train all five algorithms and summarize")
+    cmp_p = sub.add_parser("compare", help="train every algorithm and summarize")
     _add_common(cmp_p)
 
     info_p = sub.add_parser("info", help="describe the resolved configuration")
@@ -92,12 +128,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         config = _make_config(args, args.algorithm)
-        print(f"running {config.algorithm} on {config.num_workers} worker(s)...", flush=True)
-        result = DistributedTrainer(config).run()
+        print(f"running {config.algorithm} on {config.num_workers} worker(s) "
+              f"[{args.backend} backend]...", flush=True)
+        result = run_experiment(config, backend=args.backend, **_backend_options(args))
         payload = _result_payload(result)
-        print(f"final test error: {result.final_test_error:.2%} "
-              f"(virtual {result.total_virtual_time:.1f}s, "
-              f"mean staleness {result.staleness['mean']:.1f})")
+        _print_summary(result)
         if args.json:
             with open(args.json, "w") as fh:
                 json.dump(payload, fh, indent=2)
@@ -106,10 +141,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # compare
     payloads = []
-    for algorithm in ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd"):
+    for algorithm in ALGORITHMS:
         config = _make_config(args, algorithm)
-        print(f"running {algorithm:8s} (M={config.num_workers})...", flush=True)
-        result = DistributedTrainer(config).run()
+        print(f"running {algorithm:8s} (M={config.num_workers}) "
+              f"[{args.backend} backend]...", flush=True)
+        result = run_experiment(config, backend=args.backend, **_backend_options(args))
         payloads.append(_result_payload(result))
         print(f"  -> test error {result.final_test_error:.2%}")
     best = min(payloads, key=lambda p: p["final_test_error"])

@@ -13,8 +13,10 @@ Components map one-to-one onto the paper:
 * :mod:`repro.core.algorithms` — the update rules: sequential SGD, SSGD
   (Formula 1), ASGD (Formula 2), DC-ASGD (Formula 3) and LC-ASGD
   (Formulas 4-5, 9-10).
-* :mod:`repro.core.trainer` — the DistributedTrainer wiring all of the
-  above into the cluster simulator.
+* :mod:`repro.core.trainer` — the DistributedTrainer executing an
+  :class:`~repro.runtime.session.ExperimentPlan` (built in
+  :mod:`repro.runtime.session`) on the cluster simulator; the thread
+  runtime in :mod:`repro.runtime` executes the same plan concurrently.
 """
 
 from repro.core.checkpoint import load_model_from_checkpoint, save_run_checkpoint

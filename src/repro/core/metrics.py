@@ -49,8 +49,12 @@ class RunResult:
     finishing_order: List[int] = field(default_factory=list)
     timers: Dict[str, float] = field(default_factory=dict)  # mean ms per call
     total_updates: int = 0
+    # the executing backend's clock at run end: virtual seconds under the
+    # simulator, real elapsed seconds under the thread runtime
     total_virtual_time: float = 0.0
     seed: int = 0
+    backend: str = "sim"  # which execution backend produced this result
+    wall_time: float = 0.0  # real elapsed seconds, whatever the backend
 
     # ------------------------------------------------------------------ #
     @property

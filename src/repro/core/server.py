@@ -144,6 +144,19 @@ class ParameterServer:
             sensitivity=float(sensitivity),
         )
 
+    def handle_combined(self, state: WorkerState, payload: GradientPayload) -> Tuple[bool, int]:
+        """Fused state+gradient arrival (non-compensated algorithms).
+
+        The non-LC algorithms send ``state_m`` and the gradient in one
+        message and await no reply: log the iteration, fold the BN stats,
+        then apply the gradient.  Both backends route their fused path
+        through here so the server-side bookkeeping cannot drift.
+        """
+        self.iter_log.append(state.worker)
+        if self.bn_strategy is not None and state.bn_stats:
+            self.bn_strategy.update(state.bn_stats)
+        return self.handle_gradient(payload)
+
     # ------------------------------------------------------------------ #
     # Algorithm 2, lines 8-10
     # ------------------------------------------------------------------ #

@@ -1,4 +1,4 @@
-"""The DistributedTrainer: wires Algorithms 1-4 into the cluster simulator.
+"""The DistributedTrainer: Algorithms 1-4 on the virtual-time simulator.
 
 Execution model (DESIGN.md §5): real mathematics runs inside virtual-time
 event callbacks.  One worker cycle is
@@ -21,240 +21,93 @@ event callbacks.  One worker cycle is
 For the non-LC algorithms, steps 4-6 fuse: state and gradient travel
 together and no reply is awaited.  SSGD additionally queues pulls at the
 server until the round's barrier closes.
+
+Backend split (``repro.runtime``): the experiment *wiring* — datasets,
+identically-initialized replicas, the server with its predictors and BN
+strategy, the cluster timing models — lives in
+:class:`repro.runtime.session.ExperimentPlan`, and the shared evaluation/
+trace/result machinery in :class:`repro.runtime.session.ExperimentSession`.
+This module is now only the **sim flavor** of executing a plan: it maps the
+seven arrows above onto :class:`~repro.cluster.simulator.Simulator` events.
+The thread flavor (:class:`repro.runtime.thread_backend.ThreadBackend`)
+runs the *same* plan on real threads with wall-clock staleness; both are
+selected by name through :func:`repro.runtime.run_experiment` or
+``repro run --backend {sim,thread}``.  ``build_dataset``/``build_model``
+are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import time
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.cluster.network import LinkModel, NetworkModel
-from repro.cluster.node import ComputeModel, StragglerModel
 from repro.cluster.simulator import Simulator
-from repro.cluster.trace import ClusterTrace
-from repro.core.algorithms import make_update_rule
-from repro.core.batchnorm_sync import make_bn_strategy
 from repro.core.config import TrainingConfig
-from repro.core.metrics import CurvePoint, RunResult, evaluate_model
-from repro.core.predictors import make_loss_predictor, make_step_predictor
-from repro.core.server import ParameterServer
+from repro.core.metrics import CurvePoint, RunResult
 from repro.core.state import CompensationReply, GradientPayload, WorkerState
-from repro.core.worker import DistributedWorker
-from repro.data.dataset import ArrayDataset
-from repro.data.loader import DataLoader
-from repro.data.synthetic import SyntheticCIFAR10, SyntheticImageNet, make_spirals
-from repro.nn.mlp import MLP
-from repro.nn.module import Module, get_flat_params
-from repro.nn.norm import bn_layers, load_bn_running_stats
-from repro.nn.resnet import resnet18, resnet50, resnet_tiny
-from repro.optim.lr_scheduler import MultiStepLR
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngTree
-from repro.utils.timer import Timer
 
 logger = get_logger("core.trainer")
 
 _REQUEST_BYTES = 256  # pull request / small control messages
-_STATE_OVERHEAD_BYTES = 1024  # loss + costs; BN stats added per feature
 
 
-def build_dataset(config: TrainingConfig) -> Tuple[ArrayDataset, ArrayDataset, int]:
-    """Return (train, test, num_classes) for the configured dataset."""
-    kwargs = dict(config.dataset_kwargs)
-    kwargs.setdefault("seed", config.seed)
-    if config.dataset == "cifar":
-        bundle = SyntheticCIFAR10(**kwargs)
-        return bundle.train, bundle.test, SyntheticCIFAR10.num_classes
-    if config.dataset == "imagenet":
-        bundle = SyntheticImageNet(**kwargs)
-        return bundle.train, bundle.test, SyntheticImageNet.num_classes
-    if config.dataset == "spirals":
-        kwargs.setdefault("num_samples", 600)
-        num_classes = kwargs.pop("num_classes", 3)
-        test_size = kwargs.pop("test_size", max(1, kwargs["num_samples"] // 5))
-        full = make_spirals(num_classes=num_classes, **kwargs)
-        train = full.subset(np.arange(len(full) - test_size))
-        test = full.subset(np.arange(len(full) - test_size, len(full)))
-        return train, test, num_classes
-    raise ValueError(f"unknown dataset {config.dataset!r}")
+def build_dataset(config: TrainingConfig):
+    """Return (train, test, num_classes); see :mod:`repro.runtime.session`."""
+    from repro.runtime.session import build_dataset as _build_dataset
+
+    return _build_dataset(config)
 
 
-def build_model(config: TrainingConfig, input_shape: Tuple[int, ...], num_classes: int) -> Module:
-    """Build one model replica with init seeded by ``config.seed``.
+def build_model(config: TrainingConfig, input_shape: Tuple[int, ...], num_classes: int):
+    """Build one seeded model replica; see :mod:`repro.runtime.session`."""
+    from repro.runtime.session import build_model as _build_model
 
-    Every call returns an identically initialized model (fresh RngTree from
-    the same seed), which is how all replicas and the server start from
-    "the same randomly initialized model" (Section 5).
-    """
-    rng = RngTree(config.seed).child("model-init").generator("weights")
-    kwargs = dict(config.model_kwargs)
-    if config.model == "mlp":
-        input_dim = int(np.prod(input_shape))
-        hidden = tuple(kwargs.pop("hidden", (64,)))
-        batch_norm = kwargs.pop("batch_norm", True)
-        if kwargs:
-            raise ValueError(f"unknown mlp kwargs {sorted(kwargs)}")
-        return MLP((input_dim, *hidden, num_classes), batch_norm=batch_norm, rng=rng)
-    if config.model in ("resnet18", "resnet50", "resnet_tiny"):
-        factory = {"resnet18": resnet18, "resnet50": resnet50, "resnet_tiny": resnet_tiny}[config.model]
-        in_channels = input_shape[0] if len(input_shape) == 3 else 3
-        return factory(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
-    raise ValueError(f"unknown model {config.model!r}")
+    return _build_model(config, input_shape, num_classes)
 
 
 class DistributedTrainer:
-    """Run one configured experiment end to end and return a RunResult."""
+    """Run one configured experiment end to end and return a RunResult.
 
-    def __init__(self, config: TrainingConfig) -> None:
-        self.config = config
-        self.rng_tree = RngTree(config.seed)
-        self.timer = Timer()
-        self.trace = ClusterTrace()
+    Accepts either a :class:`~repro.core.config.TrainingConfig` (a plan is
+    built internally) or a pre-built :class:`~repro.runtime.session.
+    ExperimentPlan` via ``plan=`` (how :class:`~repro.runtime.backends.
+    SimBackend` drives it).  Plan components are exposed as attributes
+    (``workers``, ``server``, ``compute``, ...) for tests and tooling.
+    """
 
-        self.train_set, self.test_set, self.num_classes = build_dataset(config)
-        input_shape = self.train_set.input_shape
+    def __init__(self, config: Optional[TrainingConfig] = None, plan=None) -> None:
+        from repro.runtime.session import ExperimentPlan, ExperimentSession
 
-        # model replicas (identical init) ------------------------------------------------
-        self.eval_model = build_model(config, input_shape, self.num_classes)
-        self.workers: List[DistributedWorker] = []
-        for m in range(config.num_workers):
-            model = build_model(config, input_shape, self.num_classes)
-            loader = DataLoader(
-                self.train_set,
-                config.batch_size,
-                shuffle=True,
-                seed=self.rng_tree.child(f"worker-{m}").generator("batches"),
-            )
-            self.workers.append(
-                DistributedWorker(m, model, loader, collect_bn=config.bn_mode != "local")
-            )
+        if plan is None:
+            if config is None:
+                raise ValueError("DistributedTrainer needs a config or a plan")
+            plan = ExperimentPlan.from_config(config)
+        self.plan = plan
+        self.session = ExperimentSession(plan)
 
-        # server --------------------------------------------------------------------------
-        iters_per_epoch = max(1, int(np.ceil(len(self.train_set) / config.batch_size)))
-        self.iters_per_epoch = iters_per_epoch
-        if config.max_updates is not None:
-            self.total_updates = int(config.max_updates)
-        else:
-            self.total_updates = config.epochs * iters_per_epoch
-
-        feature_sizes = [layer.num_features for layer in bn_layers(self.eval_model)]
-        bn_strategy = make_bn_strategy(config.bn_mode, feature_sizes, decay=config.bn_decay)
-
-        loss_predictor = step_predictor = None
-        if config.algorithm == "lc-asgd":
-            p = config.predictor
-            pred_seed = self.rng_tree.child("predictors").seed
-            loss_kwargs = {}
-            step_kwargs = {"max_step": max(4 * config.num_workers, 8)}
-            if p.loss_variant == "lstm":
-                loss_kwargs = dict(
-                    hidden_size=p.loss_hidden, window=p.loss_window,
-                    lr=p.lr, momentum=p.momentum, train_every=p.train_every, seed=pred_seed,
-                )
-            elif p.loss_variant == "linear":
-                loss_kwargs = dict(window=p.loss_window)
-            if p.step_variant == "lstm":
-                step_kwargs.update(
-                    hidden_size=p.step_hidden, window=p.step_window,
-                    lr=p.lr, momentum=p.momentum, train_every=p.train_every, seed=pred_seed,
-                )
-            loss_predictor = make_loss_predictor(p.loss_variant, **loss_kwargs)
-            step_predictor = make_step_predictor(p.step_variant, **step_kwargs)
-
-        rule = make_update_rule(
-            config.algorithm,
-            num_workers=config.num_workers,
-            momentum=config.momentum,
-            dc_lambda=config.dc_lambda,
-            dc_adaptive=config.dc_adaptive,
-        )
-        schedule = MultiStepLR(config.base_lr, config.lr_milestones, config.lr_gamma)
-        init_params = get_flat_params(self.workers[0].model)
-        self.server = ParameterServer(
-            init_params,
-            rule,
-            schedule,
-            iters_per_epoch,
-            bn_strategy=bn_strategy,
-            loss_predictor=loss_predictor,
-            step_predictor=step_predictor,
-            lc_lambda=config.lc_lambda,
-            compensation=config.compensation,
-            timer=self.timer,
-        )
-        self.model_bytes = init_params.size * 4  # float32 wire format
-        bn_payload = sum(2 * s * 4 for s in feature_sizes)
-        self.state_bytes = _STATE_OVERHEAD_BYTES + (bn_payload if config.bn_mode != "local" else 0)
-
-        # cluster --------------------------------------------------------------------------
-        cl = config.cluster
-        sequential = config.algorithm == "sgd"
-        self.compute = ComputeModel(
-            config.num_workers,
-            mean_batch_time=cl.mean_batch_time,
-            heterogeneity=0.0 if sequential else cl.compute_heterogeneity,
-            jitter_sigma=0.0 if sequential else cl.compute_jitter,
-            straggler=StragglerModel(cl.straggler_probability, cl.straggler_slowdown),
-            seed=self.rng_tree.child("compute"),
-        )
-        link = LinkModel(
-            base_latency=0.0 if sequential else cl.link_latency,
-            bandwidth=cl.link_bandwidth,
-            jitter_sigma=0.0 if sequential else cl.link_jitter,
-        )
-        self.network = NetworkModel(
-            config.num_workers,
-            link=link,
-            heterogeneity=0.0 if sequential else cl.network_heterogeneity,
-            seed=self.rng_tree.child("network"),
-        )
+        # plan aliases (stable public surface) -------------------------------------------
+        self.config = plan.config
+        self.rng_tree = plan.rng_tree
+        self.timer = plan.timer
+        self.trace = self.session.trace
+        self.train_set = plan.train_set
+        self.test_set = plan.test_set
+        self.num_classes = plan.num_classes
+        self.eval_model = plan.eval_model
+        self.workers = plan.workers
+        self.server = plan.server
+        self.compute = plan.compute
+        self.network = plan.network
+        self.iters_per_epoch = plan.iters_per_epoch
+        self.total_updates = plan.total_updates
+        self.model_bytes = plan.model_bytes
+        self.state_bytes = plan.state_bytes
+        self._eval_indices = self.session._eval_indices
 
         self.sim = Simulator()
-        self._curve: List[CurvePoint] = []
-        self._last_eval_epoch = -1
-        self._eval_indices = self._pick_eval_indices()
-
-    # ------------------------------------------------------------------ #
-    def _pick_eval_indices(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Fixed train/test evaluation subsets (same across all epochs)."""
-        rng = self.rng_tree.child("eval").generator("subsets")
-        n_train = min(self.config.eval_train_samples, len(self.train_set))
-        n_test = min(self.config.eval_test_samples, len(self.test_set))
-        train_idx = rng.permutation(len(self.train_set))[:n_train]
-        test_idx = rng.permutation(len(self.test_set))[:n_test]
-        return np.sort(train_idx), np.sort(test_idx)
-
-    def _sync_eval_model(self) -> None:
-        """Install the server's weights + the appropriate BN stats for eval."""
-        from repro.nn.module import set_flat_params
-
-        set_flat_params(self.eval_model, self.server.params)
-        if self.server.bn_strategy is not None:
-            load_bn_running_stats(self.eval_model, self.server.bn_strategy.current())
-        else:  # local mode: sequential SGD's own running statistics
-            source_layers = bn_layers(self.workers[0].model)
-            stats = [(l.running_mean.copy(), l.running_var.copy()) for l in source_layers]
-            load_bn_running_stats(self.eval_model, stats)
-
-    def _evaluate(self) -> CurvePoint:
-        """One evaluation snapshot at the current virtual time."""
-        self._sync_eval_model()
-        train_idx, test_idx = self._eval_indices
-        train_err, train_loss = evaluate_model(
-            self.eval_model, self.train_set.inputs[train_idx], self.train_set.targets[train_idx]
-        )
-        test_err, test_loss = evaluate_model(
-            self.eval_model, self.test_set.inputs[test_idx], self.test_set.targets[test_idx]
-        )
-        return CurvePoint(
-            epoch=self.server.epoch,
-            time=self.sim.now,
-            train_error=train_err,
-            train_loss=train_loss,
-            test_error=test_err,
-            test_loss=test_loss,
-        )
 
     # ------------------------------------------------------------------ #
     # event handlers (the cycle of the module docstring)
@@ -333,17 +186,17 @@ class DistributedTrainer:
 
     def _server_combined(self, m: int, state: WorkerState, payload: GradientPayload) -> None:
         """Fused state+gradient arrival for the non-LC algorithms."""
-        self.server.iter_log.append(state.worker)
-        if self.server.bn_strategy is not None and state.bn_stats:
-            self.server.bn_strategy.update(state.bn_stats)
-        self._apply_gradient(m, payload)
+        advanced, staleness = self.server.handle_combined(state, payload)
+        self._after_gradient(m, payload, advanced, staleness)
 
     def _server_gradient(self, m: int, payload: GradientPayload) -> None:
         self.trace.record(self.sim.now, "gradient", m, version=self.server.version)
-        self._apply_gradient(m, payload)
-
-    def _apply_gradient(self, m: int, payload: GradientPayload) -> None:
         advanced, staleness = self.server.handle_gradient(payload)
+        self._after_gradient(m, payload, advanced, staleness)
+
+    def _after_gradient(
+        self, m: int, payload: GradientPayload, advanced: bool, staleness: int
+    ) -> None:
         self.trace.record(
             self.sim.now,
             "update",
@@ -355,45 +208,14 @@ class DistributedTrainer:
         if advanced:
             for worker_id, t0 in self.server.drain_pending_pulls():
                 self._send_weights(worker_id, t0, self.server.params.copy())
-        self._maybe_evaluate()
+        self.session.maybe_evaluate(self.sim.now)
         if self.server.batches_processed >= self.total_updates:
             self.sim.stop()
-
-    def _maybe_evaluate(self) -> None:
-        epoch = self.server.epoch
-        boundary = (
-            self.server.batches_processed % self.iters_per_epoch == 0
-            and self.server.batches_processed > 0
-        )
-        finished = self.server.batches_processed >= self.total_updates
-        if not boundary and not finished:
-            return
-        completed_epoch = epoch - 1 if boundary else epoch
-        if completed_epoch <= self._last_eval_epoch and not finished:
-            return
-        if (
-            not finished
-            and self.config.eval_every_epochs > 1
-            and (completed_epoch + 1) % self.config.eval_every_epochs != 0
-        ):
-            self._last_eval_epoch = completed_epoch
-            return
-        point = self._evaluate()
-        self._curve.append(point)
-        self._last_eval_epoch = completed_epoch
-        logger.info(
-            "algo=%s M=%d epoch=%d t=%.1fs train_err=%.4f test_err=%.4f",
-            self.config.algorithm,
-            self.config.num_workers,
-            point.epoch,
-            point.time,
-            point.train_error,
-            point.test_error,
-        )
 
     # ------------------------------------------------------------------ #
     def run(self) -> RunResult:
         """Execute the configured run and collect the result."""
+        wall_start = time.perf_counter()
         start_jitter = self.rng_tree.child("start").generator("jitter")
         for m in range(self.config.num_workers):
             delay = float(start_jitter.uniform(0.0, 1e-4))
@@ -401,31 +223,20 @@ class DistributedTrainer:
         # generous event budget: each update takes a bounded handful of events
         self.sim.run(max_events=40 * self.total_updates + 10_000)
 
-        if not self._curve:
-            # degenerate runs (e.g. max_updates smaller than one epoch and
-            # the finish-eval raced the stop): take one final snapshot
-            self._curve.append(self._evaluate())
-
-        # Tables 2-3 report cost *per training iteration*: total section time
-        # divided by the number of gradients processed (one iteration = one
-        # batch = one server update attempt).
-        updates = max(self.server.batches_processed, 1)
-        timers = {
-            "loss_pred_ms": self.timer.total("loss-pred") * 1e3 / updates,
-            "step_pred_ms": self.timer.total("step-pred") * 1e3 / updates,
-            "worker_compute_ms": self.timer.total("worker-compute") * 1e3 / updates,
-        }
-        return RunResult(
-            algorithm=self.config.algorithm,
-            num_workers=self.config.num_workers,
-            bn_mode=self.config.bn_mode,
-            curve=list(self._curve),
-            staleness=self.trace.staleness_stats(),
-            loss_prediction_pairs=list(self.server.loss_prediction_pairs),
-            step_prediction_pairs=list(self.server.step_prediction_pairs),
-            finishing_order=self.trace.finishing_order(),
-            timers=timers,
-            total_updates=self.server.batches_processed,
-            total_virtual_time=self.sim.now,
-            seed=self.config.seed,
+        # degenerate runs (e.g. max_updates smaller than one epoch and the
+        # finish-eval raced the stop): take one final snapshot
+        self.session.ensure_final_eval(self.sim.now)
+        return self.session.build_result(
+            self.sim.now, backend="sim", wall_time=time.perf_counter() - wall_start
         )
+
+    # backward-compat shims (pre-runtime callers/tests) ----------------------------------
+    @property
+    def _curve(self) -> List[CurvePoint]:
+        return self.session.curve
+
+    def _evaluate(self) -> CurvePoint:
+        return self.session.evaluate(self.sim.now)
+
+    def _sync_eval_model(self) -> None:
+        self.session.sync_eval_model()

@@ -12,6 +12,7 @@ backpropagates ``seed * l_m`` instead of ``l_m``.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -39,6 +40,11 @@ class DistributedWorker:
         self.model = model
         self.loader = loader
         self.collect_bn = collect_bn
+        # Guards replica mutation for concurrent runtimes: the thread
+        # backend holds it during forward/backward, and local-BN-mode eval
+        # acquires it to snapshot this replica's running statistics
+        # consistently.  Uncontended (and thus free) under the simulator.
+        self.model_lock = threading.Lock()
         self.pull_version = -1
         self.last_t_comm = 0.0
         self.last_t_comp = 0.0

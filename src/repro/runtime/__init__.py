@@ -1,0 +1,62 @@
+"""repro.runtime — pluggable execution backends for the reproduction.
+
+The paper's claims are about wall-clock behavior under genuine asynchrony;
+this package provides the execution layer that makes those runnable two
+ways from one experiment specification:
+
+* :mod:`repro.runtime.session` — :class:`ExperimentPlan` (backend-agnostic
+  wiring of datasets, replicas, server, predictors and timing models) and
+  :class:`ExperimentSession` (clock-agnostic trace/curve/eval/result state).
+* :mod:`repro.runtime.backends` — the :class:`ExecutionBackend` protocol,
+  the name registry, :class:`SimBackend` (virtual-time event loop) and
+  :func:`run_experiment`.
+* :mod:`repro.runtime.thread_backend` — :class:`ThreadBackend`: a server
+  actor thread plus N worker threads with real wall-clock staleness, an
+  optional deterministic round-robin mode, and emulated link/compute
+  delays.
+* :mod:`repro.runtime.messages` / :mod:`repro.runtime.transport` — the
+  typed envelopes and the in-process delay-injecting message fabric.
+
+Quickstart::
+
+    from repro.core import TrainingConfig
+    from repro.runtime import run_experiment
+
+    cfg = TrainingConfig.small_cifar(algorithm="lc-asgd", num_workers=8)
+    result = run_experiment(cfg, backend="thread")
+    print(result.wall_time, result.staleness["mean"])
+"""
+
+from repro.runtime.backends import (
+    ExecutionBackend,
+    SimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_experiment,
+)
+from repro.runtime.session import (
+    ExperimentPlan,
+    ExperimentSession,
+    build_dataset,
+    build_model,
+)
+from repro.runtime.thread_backend import RoundRobinTurnstile, ThreadBackend
+from repro.runtime.transport import InProcTransport, Mailbox
+
+__all__ = [
+    "ExecutionBackend",
+    "SimBackend",
+    "ThreadBackend",
+    "RoundRobinTurnstile",
+    "ExperimentPlan",
+    "ExperimentSession",
+    "InProcTransport",
+    "Mailbox",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_experiment",
+    "build_dataset",
+    "build_model",
+]

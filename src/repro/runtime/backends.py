@@ -1,0 +1,98 @@
+"""Execution backends: one ExperimentPlan in, one RunResult out.
+
+The :class:`ExecutionBackend` protocol is deliberately tiny — ``run(plan)``
+— so the *same* servers, workers, update rules and predictors execute under
+completely different schedulers:
+
+* ``sim`` — the deterministic virtual-time event loop
+  (:class:`~repro.core.trainer.DistributedTrainer`); staleness comes from
+  simulated timing, runs reproduce bit-for-bit.
+* ``thread`` — the real concurrent runtime
+  (:class:`~repro.runtime.thread_backend.ThreadBackend`); staleness comes
+  from genuine thread interleaving and the clock is the wall clock.
+
+Backends register by name so callers (CLI, benches, tests) select one with
+a string::
+
+    from repro.runtime import run_experiment
+    result = run_experiment(config, backend="thread")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.config import TrainingConfig
+from repro.core.metrics import RunResult
+from repro.runtime.session import ExperimentPlan
+from repro.runtime.thread_backend import ThreadBackend
+
+
+class ExecutionBackend:
+    """Protocol every backend implements: execute a plan, return a result."""
+
+    #: registry key; subclasses override
+    name = "abstract"
+
+    def run(self, plan: ExperimentPlan) -> RunResult:
+        """Execute ``plan`` to completion (mutating it) and build the result."""
+        raise NotImplementedError
+
+
+class SimBackend(ExecutionBackend):
+    """The virtual-time event-loop executor, wrapped as a backend.
+
+    Delegates to :class:`~repro.core.trainer.DistributedTrainer`, which owns
+    the event-scheduling flavor of the worker cycle.  Imported lazily to
+    keep ``repro.runtime`` importable without dragging in the trainer (and
+    to avoid a cycle: the trainer itself builds plans from this package).
+    """
+
+    name = "sim"
+
+    def run(self, plan: ExperimentPlan) -> RunResult:
+        from repro.core.trainer import DistributedTrainer
+
+        return DistributedTrainer(plan.config, plan=plan).run()
+
+
+_REGISTRY: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites quietly)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are forwarded to the factory (e.g. ``deterministic=True``
+    for the thread backend).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(**options)
+
+
+def run_experiment(
+    config: TrainingConfig, backend: str = "sim", **backend_options
+) -> RunResult:
+    """Build a fresh plan from ``config`` and execute it on ``backend``."""
+    plan = ExperimentPlan.from_config(config)
+    return get_backend(backend, **backend_options).run(plan)
+
+
+register_backend("sim", SimBackend)
+register_backend("thread", ThreadBackend)

@@ -1,0 +1,81 @@
+"""Typed message envelopes exchanged over a runtime Transport.
+
+These mirror the seven arrows of the worker cycle documented in
+:mod:`repro.core.trainer`: pull request, pull reply (weights down),
+``state_m`` push, compensation reply, gradient push — plus the fused
+state+gradient arrival the non-LC algorithms use, and a Shutdown sentinel
+that wakes any thread blocked on a mailbox.
+
+Envelope fields carry only what crosses the wire; the mathematics stays in
+:class:`~repro.core.state.WorkerState` / :class:`~repro.core.state.
+GradientPayload` / :class:`~repro.core.state.CompensationReply`, shared
+verbatim with the simulator so both backends speak one protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.state import CompensationReply, GradientPayload, WorkerState
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base envelope: every message names its worker endpoint."""
+
+    worker: int
+
+
+@dataclass(frozen=True)
+class PullRequest(Message):
+    """Worker -> server: ask for the current weights (Algorithm 2, l. 11)."""
+
+    sent_at: float = 0.0  # backend clock when the request left the worker
+
+
+@dataclass(frozen=True)
+class PullReply(Message):
+    """Server -> worker: the weights at ``version`` (Algorithm 2, l. 12)."""
+
+    weights: Optional[np.ndarray] = None
+    version: int = -1
+    request_sent_at: float = 0.0  # echoed so the worker can measure t_comm
+
+
+@dataclass(frozen=True)
+class StatePush(Message):
+    """Worker -> server: the ``state_m`` record (Algorithm 1, l. 8)."""
+
+    state: Optional[WorkerState] = None
+
+
+@dataclass(frozen=True)
+class CompensationMessage(Message):
+    """Server -> worker: the ``l_delay`` reply (Algorithm 2, l. 5)."""
+
+    reply: Optional[CompensationReply] = None
+
+
+@dataclass(frozen=True)
+class GradientPush(Message):
+    """Worker -> server: the compensated gradient (Algorithm 1, l. 12)."""
+
+    payload: Optional[GradientPayload] = None
+
+
+@dataclass(frozen=True)
+class CombinedPush(Message):
+    """Worker -> server: fused state+gradient for the non-LC algorithms."""
+
+    state: Optional[WorkerState] = None
+    payload: Optional[GradientPayload] = None
+
+
+@dataclass(frozen=True)
+class Shutdown(Message):
+    """Either direction: unblock the receiver and end its loop."""
+
+    worker: int = -1

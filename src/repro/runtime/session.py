@@ -1,0 +1,392 @@
+"""Backend-agnostic experiment wiring: the ExperimentPlan and its session.
+
+Historically all of this lived inside ``DistributedTrainer.__init__``, which
+welded the experiment *specification* (datasets, model replicas, server,
+predictors, timing models) to the virtual-time *executor*.  The runtime
+split pulls the wiring out so that any :class:`~repro.runtime.backends.
+ExecutionBackend` — the event-loop simulator or the real thread runtime —
+consumes one :class:`ExperimentPlan` and produces one
+:class:`~repro.core.metrics.RunResult`:
+
+* :class:`ExperimentPlan` — everything a backend needs to execute a
+  configured run: the datasets, the identically-initialized model replicas,
+  the :class:`~repro.core.server.ParameterServer` (with predictors and BN
+  strategy attached), the cluster timing models, and the derived byte/
+  iteration budgets.  Building a plan performs no training.
+* :class:`ExperimentSession` — the clock-agnostic run state layered on a
+  plan: the cluster trace, the learning curve, epoch-boundary evaluation,
+  and final :class:`~repro.core.metrics.RunResult` assembly.  Backends feed
+  it their own notion of "now" (virtual seconds for the simulator, real
+  seconds since start for the thread runtime).
+
+Thread-safety contract: a plan is built single-threaded.  During execution,
+``server``, ``eval_model`` and the session's trace/curve must only be
+touched by whichever thread drives the server (the actor loop in the thread
+backend); each worker replica and its loader belong to exactly one worker
+thread.  The ``compute``/``network`` models keep independent per-worker RNG
+streams, so per-worker sampling is safe from that worker's thread.  The
+one cross-thread read — local-BN-mode evaluation borrowing worker 0's
+running statistics — synchronizes on that worker's ``model_lock``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.network import LinkModel, NetworkModel
+from repro.cluster.node import ComputeModel, StragglerModel
+from repro.cluster.trace import ClusterTrace
+from repro.core.algorithms import make_update_rule
+from repro.core.batchnorm_sync import make_bn_strategy
+from repro.core.config import TrainingConfig
+from repro.core.metrics import CurvePoint, RunResult, evaluate_model
+from repro.core.predictors import make_loss_predictor, make_step_predictor
+from repro.core.server import ParameterServer
+from repro.core.worker import DistributedWorker
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SyntheticCIFAR10, SyntheticImageNet, make_spirals
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, get_flat_params, set_flat_params
+from repro.nn.norm import bn_layers, load_bn_running_stats
+from repro.nn.resnet import resnet18, resnet50, resnet_tiny
+from repro.optim.lr_scheduler import MultiStepLR
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngTree
+from repro.utils.timer import Timer
+
+logger = get_logger("runtime.session")
+
+#: pull request / small control messages on the wire
+REQUEST_BYTES = 256
+#: loss + costs envelope of a ``state_m`` push; BN stats added per feature
+STATE_OVERHEAD_BYTES = 1024
+
+
+def build_dataset(config: TrainingConfig) -> Tuple[ArrayDataset, ArrayDataset, int]:
+    """Return (train, test, num_classes) for the configured dataset."""
+    kwargs = dict(config.dataset_kwargs)
+    kwargs.setdefault("seed", config.seed)
+    if config.dataset == "cifar":
+        bundle = SyntheticCIFAR10(**kwargs)
+        return bundle.train, bundle.test, SyntheticCIFAR10.num_classes
+    if config.dataset == "imagenet":
+        bundle = SyntheticImageNet(**kwargs)
+        return bundle.train, bundle.test, SyntheticImageNet.num_classes
+    if config.dataset == "spirals":
+        kwargs.setdefault("num_samples", 600)
+        num_classes = kwargs.pop("num_classes", 3)
+        test_size = kwargs.pop("test_size", max(1, kwargs["num_samples"] // 5))
+        full = make_spirals(num_classes=num_classes, **kwargs)
+        train = full.subset(np.arange(len(full) - test_size))
+        test = full.subset(np.arange(len(full) - test_size, len(full)))
+        return train, test, num_classes
+    raise ValueError(f"unknown dataset {config.dataset!r}")
+
+
+def build_model(config: TrainingConfig, input_shape: Tuple[int, ...], num_classes: int) -> Module:
+    """Build one model replica with init seeded by ``config.seed``.
+
+    Every call returns an identically initialized model (fresh RngTree from
+    the same seed), which is how all replicas and the server start from
+    "the same randomly initialized model" (Section 5).
+    """
+    rng = RngTree(config.seed).child("model-init").generator("weights")
+    kwargs = dict(config.model_kwargs)
+    if config.model == "mlp":
+        input_dim = int(np.prod(input_shape))
+        hidden = tuple(kwargs.pop("hidden", (64,)))
+        batch_norm = kwargs.pop("batch_norm", True)
+        if kwargs:
+            raise ValueError(f"unknown mlp kwargs {sorted(kwargs)}")
+        return MLP((input_dim, *hidden, num_classes), batch_norm=batch_norm, rng=rng)
+    if config.model in ("resnet18", "resnet50", "resnet_tiny"):
+        factory = {"resnet18": resnet18, "resnet50": resnet50, "resnet_tiny": resnet_tiny}[config.model]
+        in_channels = input_shape[0] if len(input_shape) == 3 else 3
+        return factory(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
+    raise ValueError(f"unknown model {config.model!r}")
+
+
+@dataclass
+class ExperimentPlan:
+    """Everything a backend needs to execute one configured run.
+
+    Build with :meth:`from_config`; a plan is single-use (its server and
+    replicas are mutated by execution).
+    """
+
+    config: TrainingConfig
+    rng_tree: RngTree
+    timer: Timer
+    train_set: ArrayDataset
+    test_set: ArrayDataset
+    num_classes: int
+    eval_model: Module
+    workers: List[DistributedWorker]
+    server: ParameterServer
+    compute: ComputeModel
+    network: NetworkModel
+    iters_per_epoch: int
+    total_updates: int
+    model_bytes: int
+    state_bytes: int
+
+    @classmethod
+    def from_config(cls, config: TrainingConfig) -> "ExperimentPlan":
+        """Wire one experiment: datasets, replicas, server, cluster models."""
+        rng_tree = RngTree(config.seed)
+        timer = Timer()
+
+        train_set, test_set, num_classes = build_dataset(config)
+        input_shape = train_set.input_shape
+
+        # model replicas (identical init) ------------------------------------------------
+        eval_model = build_model(config, input_shape, num_classes)
+        workers: List[DistributedWorker] = []
+        for m in range(config.num_workers):
+            model = build_model(config, input_shape, num_classes)
+            loader = DataLoader(
+                train_set,
+                config.batch_size,
+                shuffle=True,
+                seed=rng_tree.child(f"worker-{m}").generator("batches"),
+            )
+            workers.append(
+                DistributedWorker(m, model, loader, collect_bn=config.bn_mode != "local")
+            )
+
+        # server --------------------------------------------------------------------------
+        iters_per_epoch = max(1, int(np.ceil(len(train_set) / config.batch_size)))
+        if config.max_updates is not None:
+            total_updates = int(config.max_updates)
+        else:
+            total_updates = config.epochs * iters_per_epoch
+
+        feature_sizes = [layer.num_features for layer in bn_layers(eval_model)]
+        bn_strategy = make_bn_strategy(config.bn_mode, feature_sizes, decay=config.bn_decay)
+
+        loss_predictor = step_predictor = None
+        if config.algorithm == "lc-asgd":
+            p = config.predictor
+            pred_seed = rng_tree.child("predictors").seed
+            loss_kwargs = {}
+            step_kwargs = {"max_step": max(4 * config.num_workers, 8)}
+            if p.loss_variant == "lstm":
+                loss_kwargs = dict(
+                    hidden_size=p.loss_hidden, window=p.loss_window,
+                    lr=p.lr, momentum=p.momentum, train_every=p.train_every, seed=pred_seed,
+                )
+            elif p.loss_variant == "linear":
+                loss_kwargs = dict(window=p.loss_window)
+            if p.step_variant == "lstm":
+                step_kwargs.update(
+                    hidden_size=p.step_hidden, window=p.step_window,
+                    lr=p.lr, momentum=p.momentum, train_every=p.train_every, seed=pred_seed,
+                )
+            loss_predictor = make_loss_predictor(p.loss_variant, **loss_kwargs)
+            step_predictor = make_step_predictor(p.step_variant, **step_kwargs)
+
+        rule = make_update_rule(
+            config.algorithm,
+            num_workers=config.num_workers,
+            momentum=config.momentum,
+            dc_lambda=config.dc_lambda,
+            dc_adaptive=config.dc_adaptive,
+        )
+        schedule = MultiStepLR(config.base_lr, config.lr_milestones, config.lr_gamma)
+        init_params = get_flat_params(workers[0].model)
+        server = ParameterServer(
+            init_params,
+            rule,
+            schedule,
+            iters_per_epoch,
+            bn_strategy=bn_strategy,
+            loss_predictor=loss_predictor,
+            step_predictor=step_predictor,
+            lc_lambda=config.lc_lambda,
+            compensation=config.compensation,
+            timer=timer,
+        )
+        model_bytes = init_params.size * 4  # float32 wire format
+        bn_payload = sum(2 * s * 4 for s in feature_sizes)
+        state_bytes = STATE_OVERHEAD_BYTES + (bn_payload if config.bn_mode != "local" else 0)
+
+        # cluster --------------------------------------------------------------------------
+        cl = config.cluster
+        sequential = config.algorithm == "sgd"
+        compute = ComputeModel(
+            config.num_workers,
+            mean_batch_time=cl.mean_batch_time,
+            heterogeneity=0.0 if sequential else cl.compute_heterogeneity,
+            jitter_sigma=0.0 if sequential else cl.compute_jitter,
+            straggler=StragglerModel(cl.straggler_probability, cl.straggler_slowdown),
+            seed=rng_tree.child("compute"),
+        )
+        link = LinkModel(
+            base_latency=0.0 if sequential else cl.link_latency,
+            bandwidth=cl.link_bandwidth,
+            jitter_sigma=0.0 if sequential else cl.link_jitter,
+        )
+        network = NetworkModel(
+            config.num_workers,
+            link=link,
+            heterogeneity=0.0 if sequential else cl.network_heterogeneity,
+            seed=rng_tree.child("network"),
+        )
+
+        return cls(
+            config=config,
+            rng_tree=rng_tree,
+            timer=timer,
+            train_set=train_set,
+            test_set=test_set,
+            num_classes=num_classes,
+            eval_model=eval_model,
+            workers=workers,
+            server=server,
+            compute=compute,
+            network=network,
+            iters_per_epoch=iters_per_epoch,
+            total_updates=total_updates,
+            model_bytes=model_bytes,
+            state_bytes=state_bytes,
+        )
+
+
+class ExperimentSession:
+    """Run state shared by every backend: trace, curve, evaluation, result.
+
+    The session never reads a clock itself; backends pass their "now"
+    (virtual or real seconds) into :meth:`maybe_evaluate` and
+    :meth:`build_result`, which is what lets one evaluation/result path
+    serve both execution models.
+    """
+
+    def __init__(self, plan: ExperimentPlan) -> None:
+        self.plan = plan
+        self.trace = ClusterTrace()
+        self.curve: List[CurvePoint] = []
+        self._last_eval_epoch = -1
+        self._eval_indices = self._pick_eval_indices()
+
+    # ------------------------------------------------------------------ #
+    def _pick_eval_indices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fixed train/test evaluation subsets (same across all epochs)."""
+        plan = self.plan
+        rng = plan.rng_tree.child("eval").generator("subsets")
+        n_train = min(plan.config.eval_train_samples, len(plan.train_set))
+        n_test = min(plan.config.eval_test_samples, len(plan.test_set))
+        train_idx = rng.permutation(len(plan.train_set))[:n_train]
+        test_idx = rng.permutation(len(plan.test_set))[:n_test]
+        return np.sort(train_idx), np.sort(test_idx)
+
+    def sync_eval_model(self) -> None:
+        """Install the server's weights + the appropriate BN stats for eval."""
+        plan = self.plan
+        set_flat_params(plan.eval_model, plan.server.params)
+        if plan.server.bn_strategy is not None:
+            load_bn_running_stats(plan.eval_model, plan.server.bn_strategy.current())
+        else:  # local mode: sequential SGD's own running statistics.  The
+            # lock keeps the snapshot consistent when worker 0 is a live
+            # thread mid-forward (thread backend, bn_mode="local", M > 1).
+            with plan.workers[0].model_lock:
+                source_layers = bn_layers(plan.workers[0].model)
+                stats = [(l.running_mean.copy(), l.running_var.copy()) for l in source_layers]
+            load_bn_running_stats(plan.eval_model, stats)
+
+    def evaluate(self, now: float) -> CurvePoint:
+        """One evaluation snapshot stamped with the backend's clock."""
+        plan = self.plan
+        self.sync_eval_model()
+        train_idx, test_idx = self._eval_indices
+        train_err, train_loss = evaluate_model(
+            plan.eval_model, plan.train_set.inputs[train_idx], plan.train_set.targets[train_idx]
+        )
+        test_err, test_loss = evaluate_model(
+            plan.eval_model, plan.test_set.inputs[test_idx], plan.test_set.targets[test_idx]
+        )
+        return CurvePoint(
+            epoch=plan.server.epoch,
+            time=now,
+            train_error=train_err,
+            train_loss=train_loss,
+            test_error=test_err,
+            test_loss=test_loss,
+        )
+
+    def maybe_evaluate(self, now: float) -> None:
+        """Evaluate at epoch boundaries / run end, honouring the cadence."""
+        plan = self.plan
+        epoch = plan.server.epoch
+        boundary = (
+            plan.server.batches_processed % plan.iters_per_epoch == 0
+            and plan.server.batches_processed > 0
+        )
+        finished = plan.server.batches_processed >= plan.total_updates
+        if not boundary and not finished:
+            return
+        completed_epoch = epoch - 1 if boundary else epoch
+        if completed_epoch <= self._last_eval_epoch and not finished:
+            return
+        if (
+            not finished
+            and plan.config.eval_every_epochs > 1
+            and (completed_epoch + 1) % plan.config.eval_every_epochs != 0
+        ):
+            self._last_eval_epoch = completed_epoch
+            return
+        point = self.evaluate(now)
+        self.curve.append(point)
+        self._last_eval_epoch = completed_epoch
+        logger.info(
+            "algo=%s M=%d epoch=%d t=%.1fs train_err=%.4f test_err=%.4f",
+            plan.config.algorithm,
+            plan.config.num_workers,
+            point.epoch,
+            point.time,
+            point.train_error,
+            point.test_error,
+        )
+
+    def ensure_final_eval(self, now: float) -> None:
+        """Guarantee at least one curve point (degenerate short runs)."""
+        if not self.curve:
+            self.curve.append(self.evaluate(now))
+
+    # ------------------------------------------------------------------ #
+    def build_result(self, clock: float, backend: str = "sim", wall_time: float = 0.0) -> RunResult:
+        """Assemble the RunResult from the plan + trace + curve.
+
+        ``clock`` is the backend's final "now" (virtual seconds for the
+        simulator, real elapsed seconds for the thread runtime);
+        ``wall_time`` is always real elapsed seconds.
+        """
+        plan = self.plan
+        # Tables 2-3 report cost *per training iteration*: total section time
+        # divided by the number of gradients processed (one iteration = one
+        # batch = one server update attempt).
+        updates = max(plan.server.batches_processed, 1)
+        timers = {
+            "loss_pred_ms": plan.timer.total("loss-pred") * 1e3 / updates,
+            "step_pred_ms": plan.timer.total("step-pred") * 1e3 / updates,
+            "worker_compute_ms": plan.timer.total("worker-compute") * 1e3 / updates,
+        }
+        return RunResult(
+            algorithm=plan.config.algorithm,
+            num_workers=plan.config.num_workers,
+            bn_mode=plan.config.bn_mode,
+            curve=list(self.curve),
+            staleness=self.trace.staleness_stats(),
+            loss_prediction_pairs=list(plan.server.loss_prediction_pairs),
+            step_prediction_pairs=list(plan.server.step_prediction_pairs),
+            finishing_order=self.trace.finishing_order(),
+            timers=timers,
+            total_updates=plan.server.batches_processed,
+            total_virtual_time=clock,
+            seed=plan.config.seed,
+            backend=backend,
+            wall_time=wall_time,
+        )

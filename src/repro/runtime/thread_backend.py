@@ -1,0 +1,391 @@
+"""Real concurrent execution: a thread-based parameter-server runtime.
+
+Topology: one *server actor* thread owns the :class:`~repro.core.server.
+ParameterServer` and is the only thread that ever calls its handlers (the
+math needs no locks because the actor loop serializes every message), plus
+``M`` worker threads each running the paper's cycle —
+
+    pull -> forward -> state push -> [compensation reply] -> backward -> push
+
+over an :class:`~repro.runtime.transport.InProcTransport`.  Staleness here
+is *real*: it is however many gradients the server actor applied between a
+worker's pull and its push, as decided by genuine thread interleaving (and,
+optionally, by emulated link/compute delays).
+
+Two scheduling modes:
+
+* **free-running** (default) — workers race; clocks, ``t_comm``/``t_comp``
+  features and staleness all come from the real wall clock.  Two runs with
+  the same seed will differ, exactly like a real cluster.
+* **deterministic** — a round-robin turnstile serializes worker cycles
+  (worker ``m`` runs one full pull-to-push cycle, then hands the turn to
+  ``m+1``), and timing features are sampled from the plan's virtual
+  compute/network models instead of the clock.  Message order at the server
+  is then a pure function of the seed, so two runs produce bit-identical
+  parameters — this is what the parity and reproducibility tests rely on.
+  The cost is that the serialized schedule pins observed staleness to 0.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.metrics import RunResult
+from repro.runtime.messages import (
+    CombinedPush,
+    CompensationMessage,
+    GradientPush,
+    Message,
+    PullReply,
+    PullRequest,
+    Shutdown,
+    StatePush,
+)
+from repro.runtime.session import (
+    REQUEST_BYTES,
+    ExperimentPlan,
+    ExperimentSession,
+)
+from repro.runtime.transport import InProcTransport
+from repro.utils.logging import get_logger
+
+logger = get_logger("runtime.thread")
+
+
+class _RunControl:
+    """Shared run state: the wall clock, the done flag, the first error."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self._start = 0.0
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+
+    def start_clock(self) -> None:
+        self._start = time.perf_counter()
+
+    def clock(self) -> float:
+        """Real seconds since the run started."""
+        return time.perf_counter() - self._start
+
+    def fail(self, exc: BaseException) -> None:
+        """Record the first failure and unblock everyone."""
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self.done.set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+
+class RoundRobinTurnstile:
+    """Grants worker turns in cyclic id order (deterministic mode).
+
+    A worker holds the turn for one full pull-to-push cycle; exited workers
+    are retired from the rotation so the remaining ones keep cycling.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        self._cond = threading.Condition()
+        self._order = list(range(num_workers))
+        self._turn = 0  # index into _order
+
+    def _holder(self) -> Optional[int]:
+        return self._order[self._turn] if self._order else None
+
+    def acquire(self, worker: int, done: threading.Event) -> bool:
+        """Block until it is ``worker``'s turn; False if the run ended."""
+        with self._cond:
+            while self._holder() != worker:
+                if done.is_set() or worker not in self._order:
+                    return False
+                self._cond.wait(timeout=0.05)
+            return True
+
+    def release(self, worker: int) -> None:
+        """Pass the turn to the next worker in the rotation."""
+        with self._cond:
+            if self._holder() == worker:
+                self._turn = (self._turn + 1) % len(self._order)
+            self._cond.notify_all()
+
+    def retire(self, worker: int) -> None:
+        """Drop an exiting worker from the rotation."""
+        with self._cond:
+            if worker in self._order:
+                idx = self._order.index(worker)
+                self._order.remove(worker)
+                if self._order and idx < self._turn:
+                    self._turn -= 1
+                if self._order:
+                    self._turn %= len(self._order)
+            self._cond.notify_all()
+
+
+class ThreadBackend:
+    """Execute an :class:`ExperimentPlan` on real threads.
+
+    Parameters
+    ----------
+    deterministic:
+        Serialize worker cycles round-robin and use virtual timing features
+        so runs reproduce bit-for-bit (see module docstring).
+    time_scale:
+        Real seconds of emulated link delay per virtual second of the
+        plan's network model (0 disables link emulation).  Ignored in
+        deterministic mode.
+    compute_scale:
+        Real seconds slept per virtual second of the plan's compute model,
+        emulating heterogeneous/straggling nodes on top of the real math
+        (0 disables).  Ignored in deterministic mode.
+    timeout:
+        Hard cap in real seconds before the run is declared hung.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        deterministic: bool = False,
+        time_scale: float = 0.0,
+        compute_scale: float = 0.0,
+        timeout: float = 600.0,
+    ) -> None:
+        if time_scale < 0 or compute_scale < 0:
+            raise ValueError("time_scale and compute_scale must be >= 0")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.deterministic = bool(deterministic)
+        self.time_scale = 0.0 if deterministic else float(time_scale)
+        self.compute_scale = 0.0 if deterministic else float(compute_scale)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    def run(self, plan: ExperimentPlan) -> RunResult:
+        """Run the plan to completion and return its RunResult."""
+        session = ExperimentSession(plan)
+        num_workers = plan.config.num_workers
+        transport = InProcTransport(
+            num_workers,
+            network=plan.network if self.time_scale > 0 else None,
+            time_scale=self.time_scale,
+        )
+        ctl = _RunControl()
+        turnstile = RoundRobinTurnstile(num_workers) if self.deterministic else None
+
+        server_thread = threading.Thread(
+            target=self._server_loop,
+            args=(session, transport, ctl),
+            name="repro-server",
+            daemon=True,
+        )
+        worker_threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(m, session, transport, ctl, turnstile),
+                name=f"repro-worker-{m}",
+                daemon=True,
+            )
+            for m in range(num_workers)
+        ]
+
+        ctl.start_clock()
+        server_thread.start()
+        for t in worker_threads:
+            t.start()
+
+        if not ctl.done.wait(timeout=self.timeout):
+            ctl.fail(RuntimeError(f"thread backend exceeded timeout={self.timeout}s"))
+        # wake any worker still blocked on its mailbox (normal completion
+        # already sent Shutdowns; duplicates are harmless)
+        transport.wake_all_workers(Shutdown())
+        for t in worker_threads:
+            t.join(timeout=30.0)
+        transport.server_inbox.put(Shutdown())
+        server_thread.join(timeout=30.0)
+        elapsed = ctl.clock()
+
+        if ctl.error is not None:
+            raise ctl.error
+        stuck = [t.name for t in (*worker_threads, server_thread) if t.is_alive()]
+        if stuck:
+            raise RuntimeError(f"thread backend failed to join threads: {stuck}")
+
+        session.ensure_final_eval(elapsed)
+        logger.info(
+            "thread backend finished: algo=%s M=%d updates=%d wall=%.2fs",
+            plan.config.algorithm, num_workers, plan.server.batches_processed, elapsed,
+        )
+        return session.build_result(elapsed, backend=self.name, wall_time=elapsed)
+
+    # ------------------------------------------------------------------ #
+    # server actor: the ONLY thread that touches ParameterServer/eval/trace
+    # ------------------------------------------------------------------ #
+    def _server_loop(self, session: ExperimentSession, transport: InProcTransport, ctl: _RunControl) -> None:
+        plan = session.plan
+        server = plan.server
+        trace = session.trace
+        try:
+            while True:
+                msg = transport.server_inbox.get()
+                if isinstance(msg, Shutdown):
+                    return
+                if ctl.done.is_set():
+                    continue  # budget met: drop straggler traffic
+                now = ctl.clock()
+                if isinstance(msg, PullRequest):
+                    weights = server.handle_pull(msg.worker, request_time=msg.sent_at)
+                    trace.record(now, "pull", msg.worker, version=server.version)
+                    if weights is not None:  # None: queued behind the SSGD barrier
+                        transport.to_worker(
+                            msg.worker,
+                            PullReply(
+                                msg.worker,
+                                weights=weights,
+                                version=server.pull_versions[msg.worker],
+                                request_sent_at=msg.sent_at,
+                            ),
+                            nbytes=plan.model_bytes,
+                        )
+                elif isinstance(msg, StatePush):
+                    reply = server.handle_state(msg.state)
+                    trace.record(now, "state", msg.worker, version=server.version, value=msg.state.loss)
+                    transport.to_worker(
+                        msg.worker, CompensationMessage(msg.worker, reply=reply), nbytes=REQUEST_BYTES
+                    )
+                elif isinstance(msg, (GradientPush, CombinedPush)):
+                    if isinstance(msg, CombinedPush):
+                        advanced, staleness = server.handle_combined(msg.state, msg.payload)
+                    else:
+                        trace.record(now, "gradient", msg.worker, version=server.version)
+                        advanced, staleness = server.handle_gradient(msg.payload)
+                    trace.record(
+                        now, "update", msg.worker,
+                        version=server.version, staleness=staleness, value=msg.payload.loss,
+                    )
+                    if advanced:
+                        for worker_id, t0 in server.drain_pending_pulls():
+                            transport.to_worker(
+                                worker_id,
+                                PullReply(
+                                    worker_id,
+                                    weights=server.params.copy(),
+                                    version=server.pull_versions[worker_id],
+                                    request_sent_at=t0,
+                                ),
+                                nbytes=plan.model_bytes,
+                            )
+                    session.maybe_evaluate(ctl.clock())
+                    if server.batches_processed >= plan.total_updates:
+                        ctl.done.set()
+                        transport.wake_all_workers(Shutdown())
+                else:
+                    raise TypeError(f"server actor received {type(msg).__name__}")
+        except BaseException as exc:  # propagate to the caller via ctl
+            ctl.fail(exc)
+            transport.wake_all_workers(Shutdown())
+
+    # ------------------------------------------------------------------ #
+    # worker threads
+    # ------------------------------------------------------------------ #
+    def _worker_loop(
+        self,
+        m: int,
+        session: ExperimentSession,
+        transport: InProcTransport,
+        ctl: _RunControl,
+        turnstile: Optional[RoundRobinTurnstile],
+    ) -> None:
+        try:
+            while not ctl.done.is_set():
+                if turnstile is not None and not turnstile.acquire(m, ctl.done):
+                    break
+                try:
+                    if ctl.done.is_set() or not self._one_cycle(m, session, transport, ctl):
+                        break
+                finally:
+                    if turnstile is not None:
+                        turnstile.release(m)
+        except BaseException as exc:
+            ctl.fail(exc)
+        finally:
+            if turnstile is not None:
+                turnstile.retire(m)
+
+    def _one_cycle(
+        self, m: int, session: ExperimentSession, transport: InProcTransport, ctl: _RunControl
+    ) -> bool:
+        """One pull -> forward -> [state/comp] -> backward -> push cycle.
+
+        Returns False when a Shutdown arrived mid-cycle.
+        """
+        plan = session.plan
+        cfg = plan.config
+        worker = plan.workers[m]
+        inbox = transport.worker_inboxes[m]
+
+        t0 = ctl.clock()
+        transport.to_server(m, PullRequest(m, sent_at=t0), nbytes=REQUEST_BYTES)
+        msg = inbox.get()
+        if isinstance(msg, Shutdown):
+            return False
+
+        # Virtual durations: consumed in deterministic per-worker RNG order,
+        # used as predictor features in deterministic mode and as emulation
+        # sleep budgets in free-running mode.
+        dur_fwd = plan.compute.duration(m, fraction=1.0 / 3.0)
+        dur_bwd = plan.compute.duration(m, fraction=2.0 / 3.0)
+        if self.deterministic:
+            t_comm = plan.network.transfer_time(m, REQUEST_BYTES) + plan.network.transfer_time(
+                m, plan.model_bytes
+            )
+        else:
+            t_comm = ctl.clock() - msg.request_sent_at
+        worker.load_params(msg.weights, msg.version, t_comm)
+
+        # model_lock spans only the mutating math, never a mailbox wait
+        # (holding it across the compensation wait would deadlock against
+        # an evaluating server actor in local-BN mode)
+        with worker.model_lock, plan.timer.section("worker-compute"):
+            state = worker.forward()
+        self._emulate_compute(dur_fwd)
+
+        reply = None
+        if plan.server.rule.requires_compensation:
+            transport.to_server(m, StatePush(m, state=state), nbytes=plan.state_bytes)
+            msg = inbox.get()
+            if isinstance(msg, Shutdown):
+                return False
+            reply = msg.reply
+
+        bwd_start = time.perf_counter()
+        with worker.model_lock, plan.timer.section("worker-compute"):
+            payload = worker.backward(
+                reply=reply,
+                lc_lambda=cfg.lc_lambda,
+                compensation=cfg.compensation,
+                t_comp=0.0,
+            )
+        self._emulate_compute(dur_bwd)
+        worker.last_t_comp = (
+            dur_bwd if self.deterministic else time.perf_counter() - bwd_start
+        )
+
+        if plan.server.rule.requires_compensation:
+            transport.to_server(m, GradientPush(m, payload=payload), nbytes=plan.model_bytes)
+        else:
+            transport.to_server(
+                m,
+                CombinedPush(m, state=state, payload=payload),
+                nbytes=plan.model_bytes + plan.state_bytes,
+            )
+        return True
+
+    def _emulate_compute(self, virtual_seconds: float) -> None:
+        """Sleep out scaled virtual compute time (free-running mode only)."""
+        if self.compute_scale > 0:
+            time.sleep(self.compute_scale * virtual_seconds)

@@ -1,0 +1,100 @@
+"""In-process transport for the thread runtime.
+
+One :class:`InProcTransport` owns a server mailbox plus one mailbox per
+worker.  Mailboxes are FIFO queues, which gives the same per-connection
+ordering guarantee the simulator relies on (a worker's next pull request is
+processed after its own gradient push, because the worker enqueues them
+from one thread in that order).
+
+Link emulation: when built with a :class:`~repro.cluster.network.
+NetworkModel` and a nonzero ``time_scale``, each message is charged
+``time_scale * transfer_time(worker, nbytes)`` of *real* delay — worker ->
+server messages delay the sending worker thread (its uplink is busy),
+server -> worker messages are stamped with a delivery deadline the
+receiving worker sleeps out (so the server actor is never blocked by a slow
+downlink).  ``time_scale=0`` disables emulation and messages move at memory
+speed.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import List, Optional, Tuple
+
+from repro.cluster.network import NetworkModel
+from repro.runtime.messages import Message
+
+
+class Mailbox:
+    """FIFO of (message, delivery deadline) pairs with blocking receive."""
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[Tuple[Message, float]]" = queue.Queue()
+
+    def put(self, message: Message, not_before: float = 0.0) -> None:
+        """Enqueue ``message``, deliverable no earlier than ``not_before``."""
+        self._queue.put((message, not_before))
+
+    def get(self, timeout: Optional[float] = None) -> Message:
+        """Block for the next message, honouring its delivery deadline.
+
+        Raises ``queue.Empty`` when ``timeout`` (seconds) elapses first.
+        """
+        message, not_before = self._queue.get(timeout=timeout)
+        remaining = not_before - time.monotonic()
+        if remaining > 0:
+            time.sleep(remaining)
+        return message
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+
+class InProcTransport:
+    """Queue-based message fabric emulating per-worker links."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        network: Optional[NetworkModel] = None,
+        time_scale: float = 0.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.num_workers = int(num_workers)
+        self.network = network
+        self.time_scale = float(time_scale)
+        self.server_inbox = Mailbox()
+        self.worker_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
+
+    # ------------------------------------------------------------------ #
+    def _link_delay(self, worker: int, nbytes: int) -> float:
+        """Real seconds of emulated link occupancy for this message."""
+        if self.network is None or self.time_scale == 0.0 or nbytes <= 0:
+            return 0.0
+        return self.time_scale * self.network.transfer_time(worker, nbytes)
+
+    def to_server(self, worker: int, message: Message, nbytes: int = 0) -> None:
+        """Worker -> server send; the emulated uplink delays the caller."""
+        delay = self._link_delay(worker, nbytes)
+        if delay > 0:
+            time.sleep(delay)
+        self.server_inbox.put(message)
+
+    def to_worker(self, worker: int, message: Message, nbytes: int = 0) -> None:
+        """Server -> worker send; the emulated downlink delays delivery.
+
+        Never sleeps in the caller: the server actor must keep draining its
+        inbox, so the delay is carried as a deadline the receiver sleeps out.
+        """
+        delay = self._link_delay(worker, nbytes)
+        not_before = time.monotonic() + delay if delay > 0 else 0.0
+        self.worker_inboxes[worker].put(message, not_before=not_before)
+
+    def wake_all_workers(self, message: Message) -> None:
+        """Deliver ``message`` to every worker mailbox immediately."""
+        for inbox in self.worker_inboxes:
+            inbox.put(message)

@@ -16,6 +16,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -23,24 +24,29 @@ import numpy as np
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
-_grad_enabled: bool = True
+# Grad mode is per-thread: the thread runtime evaluates under no_grad() on
+# the server actor while worker threads are mid-forward, and a process-wide
+# flag would sever their graphs.  Every thread starts with grads enabled.
+_grad_state = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether autograd graph recording is currently active."""
-    return _grad_enabled
+    """Return whether autograd graph recording is active on this thread."""
+    return getattr(_grad_state, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph recording (evaluation / inference)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    """Context manager disabling graph recording (evaluation / inference).
+
+    Scoped to the calling thread; concurrent threads keep their own mode.
+    """
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -172,7 +178,7 @@ class Tensor:
         backward: Callable[[], None],
     ) -> "Tensor":
         """Build an op result, recording the graph only when useful."""
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if requires:
             return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
         return Tensor(data, requires_grad=False)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List
 
@@ -35,6 +36,8 @@ class Timer:
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
         self._samples: Dict[str, List[float]] = {}
+        # the thread runtime records sections from several threads at once
+        self._lock = threading.Lock()
 
     class _Section:
         def __init__(self, timer: "Timer", name: str) -> None:
@@ -54,10 +57,11 @@ class Timer:
         return Timer._Section(self, name)
 
     def add(self, name: str, seconds: float) -> None:
-        """Record ``seconds`` against ``name``."""
-        self._totals[name] = self._totals.get(name, 0.0) + seconds
-        self._counts[name] = self._counts.get(name, 0) + 1
-        self._samples.setdefault(name, []).append(seconds)
+        """Record ``seconds`` against ``name`` (safe from any thread)."""
+        with self._lock:
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + 1
+            self._samples.setdefault(name, []).append(seconds)
 
     def total(self, name: str) -> float:
         """Total seconds accumulated for ``name`` (0.0 if never recorded)."""

@@ -88,6 +88,56 @@ class TestServer:
         assert drained == [(0, 1.5)]
         assert server.pull_versions[0] == 1
 
+    def test_ssgd_drain_preserves_fifo_order(self):
+        """Barrier-queued pulls are served strictly in arrival order."""
+        server = make_server(rule=SSGDRule(num_workers=3), workers=3)
+        for w in range(3):
+            server.handle_pull(w)
+        server.handle_gradient(grad(0, 0))
+        server.handle_gradient(grad(2, 0))
+        # two contributors pull again before the round closes: both queue
+        assert server.handle_pull(2, request_time=0.7) is None
+        assert server.handle_pull(0, request_time=0.9) is None
+        assert server.pending_pulls == [(2, 0.7), (0, 0.9)]
+        advanced, _ = server.handle_gradient(grad(1, 0))
+        assert advanced
+        drained = server.drain_pending_pulls()
+        assert [w for w, _ in drained] == [2, 0]
+        assert [t for _, t in drained] == [0.7, 0.9]
+
+    def test_ssgd_drain_serves_post_barrier_version(self):
+        """Drained pulls observe the version advanced by the closing round."""
+        server = make_server(rule=SSGDRule(num_workers=2))
+        server.handle_pull(0)
+        server.handle_pull(1)
+        server.handle_gradient(grad(0, 0))
+        assert server.handle_pull(0) is None
+        server.handle_gradient(grad(1, 0))
+        assert server.version == 1
+        server.drain_pending_pulls()
+        assert server.pull_versions[0] == 1
+        assert server.pending_pulls == []
+        # the queue does not resurrect: draining again is a no-op
+        assert server.drain_pending_pulls() == []
+
+    def test_ssgd_fresh_worker_not_queued(self):
+        """Only workers that already contributed this round are barred."""
+        server = make_server(rule=SSGDRule(num_workers=2))
+        server.handle_pull(0)
+        server.handle_gradient(grad(0, 0))
+        # worker 1 has not contributed yet: its pull is served immediately
+        assert server.handle_pull(1) is not None
+        assert server.pending_pulls == []
+
+    def test_handle_combined_logs_iter_and_applies(self):
+        server = make_server()
+        server.handle_pull(0)
+        state = WorkerState(worker=0, loss=1.5)
+        advanced, staleness = server.handle_combined(state, grad(0, 0))
+        assert advanced and staleness == 0
+        assert server.iter_log == [0]
+        assert server.batches_processed == 1
+
     def test_handle_state_without_predictors_returns_none(self):
         server = make_server()
         state = WorkerState(worker=0, loss=1.0)

@@ -1,0 +1,89 @@
+"""Backend registry + SimBackend equivalence with the classic trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedTrainer, TrainingConfig
+from repro.core.metrics import RunResult
+from repro.runtime import (
+    ExecutionBackend,
+    ExperimentPlan,
+    SimBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_experiment,
+)
+from repro.runtime.backends import _REGISTRY
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "sim" in available_backends()
+        assert "thread" in available_backends()
+
+    def test_get_backend_instances(self):
+        assert isinstance(get_backend("sim"), SimBackend)
+        backend = get_backend("thread", deterministic=True)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.deterministic
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="unknown backend 'bogus'.*sim"):
+            get_backend("bogus")
+
+    def test_register_custom_backend(self):
+        class NullBackend(ExecutionBackend):
+            name = "null"
+
+            def run(self, plan):
+                return RunResult(
+                    algorithm=plan.config.algorithm,
+                    num_workers=plan.config.num_workers,
+                    bn_mode=plan.config.bn_mode,
+                    backend="null",
+                )
+
+        register_backend("null", NullBackend)
+        try:
+            result = run_experiment(TrainingConfig.tiny(max_updates=1), backend="null")
+            assert result.backend == "null"
+        finally:
+            del _REGISTRY["null"]
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend("", SimBackend)
+
+    def test_abstract_backend_run_raises(self):
+        with pytest.raises(NotImplementedError):
+            ExecutionBackend().run(None)
+
+
+class TestSimBackend:
+    def test_matches_classic_trainer_exactly(self):
+        cfg = TrainingConfig.tiny(algorithm="lc-asgd", num_workers=2, epochs=2, seed=11)
+        via_backend = run_experiment(cfg, backend="sim")
+        classic = DistributedTrainer(cfg).run()
+        assert via_backend.backend == classic.backend == "sim"
+        assert via_backend.final_test_error == classic.final_test_error
+        assert via_backend.total_virtual_time == classic.total_virtual_time
+        assert via_backend.staleness == classic.staleness
+        np.testing.assert_array_equal(
+            [p.train_loss for p in via_backend.curve],
+            [p.train_loss for p in classic.curve],
+        )
+
+    def test_consumes_prebuilt_plan(self):
+        cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=2, epochs=2, seed=1)
+        plan = ExperimentPlan.from_config(cfg)
+        result = SimBackend().run(plan)
+        assert result.total_updates == plan.total_updates
+        assert plan.server.batches_processed == plan.total_updates
+
+    def test_sim_reports_real_wall_time_too(self):
+        cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=2, epochs=1, seed=0)
+        result = run_experiment(cfg, backend="sim")
+        assert result.wall_time > 0.0
+        assert result.total_virtual_time > 0.0
