@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Declarative multi-seed campaign with a persistent, resumable store.
+
+Expands an (algorithm × worker count × seed) grid with the Sweep/Grid
+combinators, runs it as a Campaign — optionally across processes — and
+persists every run into a content-addressed ResultStore.  Kill it halfway
+and run it again: completed cells load from the store and only the
+remainder executes.
+
+Usage::
+
+    python examples/sweep_campaign.py [--store out/demo] [--jobs 2] [--seeds 3]
+"""
+
+import argparse
+
+from repro.core import TrainingConfig
+from repro.experiments import (
+    Campaign,
+    ConsoleEvents,
+    Grid,
+    ResultStore,
+    Sweep,
+    format_summary,
+    make_executor,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default="out/sweep_demo",
+                        help="result-store directory (delete it to start fresh)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel processes for the sim grid")
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=6)
+    args = parser.parse_args()
+
+    grid = (
+        Sweep("algorithm", ["sgd", "asgd", "lc-asgd"])
+        * Sweep("num_workers", [2, 4])
+        * Sweep("seed", list(range(args.seeds)))
+    )
+    print(f"grid: {grid!r} -> {len(grid)} cell(s)")
+
+    def factory(**kwargs):
+        return TrainingConfig.tiny(epochs=args.epochs, **kwargs)
+
+    campaign = Campaign(
+        grid.specs(factory, tags=["example"]),
+        executor=make_executor(args.jobs),
+        store=ResultStore(args.store),
+        events=ConsoleEvents(),
+    )
+    report = campaign.run()
+
+    print()
+    print(format_summary(report.summarize()))
+    print(f"\nexecuted {len(report.executed)}, cached {len(report.cached)} "
+          f"(store: {args.store} — rerun me to resume instantly)")
+
+
+if __name__ == "__main__":
+    main()

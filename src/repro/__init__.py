@@ -19,6 +19,9 @@ The package bundles everything the paper depends on:
   :class:`~repro.runtime.session.ExperimentPlan` either on the simulator
   (``sim``) or on a real concurrent thread-based parameter server
   (``thread``) with wall-clock staleness.
+* :mod:`repro.experiments` — the declarative campaign layer: experiment
+  specs with content-addressed keys, Sweep/Grid combinators, serial and
+  multiprocessing executors, and a resumable JSON result store.
 * :mod:`repro.bench` — the harness regenerating every table and figure of
   the paper's evaluation section.
 
@@ -28,6 +31,13 @@ Quickstart::
     cfg = TrainingConfig.small_cifar(algorithm="lc-asgd", num_workers=8)
     result = DistributedTrainer(cfg).run()
     print(result.final_test_error)
+
+or, for whole grids with resume (see :mod:`repro.experiments`)::
+
+    from repro.experiments import Campaign, Grid, ResultStore
+    specs = Grid(algorithm=["asgd", "lc-asgd"], seed=[0, 1, 2]).specs(
+        TrainingConfig.small_cifar)
+    Campaign(specs, store=ResultStore("out/")).run()
 """
 
 from repro.version import __version__

@@ -40,7 +40,15 @@ class GridResult:
 
 
 class ExperimentGrid:
-    """Declarative (algorithm x workers x seeds) sweep over a workload factory."""
+    """Declarative (algorithm x workers x seeds) sweep over a workload factory.
+
+    A bench-flavored veneer over the campaign layer: the grid expands into
+    :class:`~repro.experiments.spec.ExperimentSpec` objects and runs through
+    a :class:`~repro.experiments.campaign.Campaign` (which also dedupes the
+    sgd cells that normalize to one worker).  Pass ``executor`` to
+    parallelize sim grids across processes, or ``store`` to make a long
+    bench resumable.
+    """
 
     def __init__(
         self,
@@ -48,26 +56,41 @@ class ExperimentGrid:
         algorithms: Sequence[str],
         worker_counts: Sequence[int],
         seeds: Sequence[int] = (7,),
+        executor=None,
+        store=None,
         **workload_kwargs,
     ) -> None:
         self.workload = workload
         self.algorithms = tuple(algorithms)
         self.worker_counts = tuple(worker_counts)
         self.seeds = tuple(seeds)
+        self.executor = executor
+        self.store = store
         self.workload_kwargs = workload_kwargs
 
+    def specs(self):
+        """The grid's ExperimentSpecs, in deterministic cell order."""
+        from repro.experiments import ExperimentSpec
+
+        # sgd configs normalize to one worker and the Campaign dedupes the
+        # identical specs, so no special-casing here
+        return [
+            ExperimentSpec(
+                self.workload(algorithm, workers, seed=seed, **self.workload_kwargs)
+            )
+            for algorithm in self.algorithms
+            for workers in self.worker_counts
+            for seed in self.seeds
+        ]
+
     def run(self) -> GridResult:
-        """Execute every cell sequentially (deterministic order)."""
+        """Execute every cell (deduplicated, resumable) and aggregate."""
+        from repro.experiments import Campaign
+
+        report = Campaign(self.specs(), executor=self.executor, store=self.store).run()
         grid = GridResult()
-        for algorithm in self.algorithms:
-            counts = (1,) if algorithm == "sgd" else self.worker_counts
-            for workers in counts:
-                for seed in self.seeds:
-                    config = self.workload(
-                        algorithm, workers, seed=seed, **self.workload_kwargs
-                    )
-                    logger.info("grid cell: %s M=%d seed=%d", algorithm, workers, seed)
-                    grid.add(DistributedTrainer(config).run())
+        for result in report.results:
+            grid.add(result)
         return grid
 
 

@@ -107,7 +107,7 @@ def cifar_workload(
     train_size = 2048 if profile == "fast" else 8192
     defaults = dict(
         algorithm=algorithm,
-        num_workers=1 if algorithm == "sgd" else num_workers,
+        num_workers=num_workers,
         model="mlp",
         model_kwargs={"hidden": (96, 48), "batch_norm": True},
         dataset="cifar",
@@ -147,7 +147,7 @@ def imagenet_workload(
     train_size = 2700 if profile == "fast" else 10800
     defaults = dict(
         algorithm=algorithm,
-        num_workers=1 if algorithm == "sgd" else num_workers,
+        num_workers=num_workers,
         model="mlp",
         model_kwargs={"hidden": (160, 64), "batch_norm": True},
         dataset="imagenet",
@@ -196,7 +196,7 @@ def throughput_workload(
     updates = 160 if profile == "fast" else 640
     defaults = dict(
         algorithm=algorithm,
-        num_workers=1 if algorithm == "sgd" else num_workers,
+        num_workers=num_workers,
         model="mlp",
         model_kwargs={"hidden": (64,), "batch_norm": True},
         dataset="cifar",

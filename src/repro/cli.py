@@ -1,10 +1,23 @@
-"""Command-line interface: ``python -m repro run|compare|info``.
+"""Command-line interface: ``python -m repro run|compare|sweep|report|info``.
 
-A thin veneer over :func:`repro.runtime.run_experiment` for users who want
-the headline experiments without writing Python.  ``--backend`` selects the
-execution runtime: ``sim`` (deterministic virtual-time event loop, the
-default) or ``thread`` (real concurrent parameter server; wall-clock time
-and staleness are genuine).
+A thin veneer over the declarative experiment API
+(:mod:`repro.experiments`): every subcommand builds
+:class:`~repro.experiments.spec.ExperimentSpec` objects and hands them to a
+:class:`~repro.experiments.campaign.Campaign`.  Progress reporting goes
+through :class:`~repro.experiments.events.ConsoleEvents` — the CLI itself
+contains no training loops.
+
+* ``run`` — one algorithm, one seed.
+* ``compare`` — every algorithm on the same preset (a 1×|algorithms| grid).
+* ``sweep`` — the full declarative grid: ``--algorithms`` ×
+  ``--workers`` × ``--seeds``, optionally parallelized across processes
+  (``--jobs``) and persisted/resumed through a result store (``--json DIR``).
+* ``report`` — summarize a result store as the paper-style table.
+* ``info`` — dump the resolved configuration as nested JSON.
+
+``--backend`` selects the execution runtime: ``sim`` (deterministic
+virtual-time event loop, the default) or ``thread`` (real concurrent
+parameter server; wall-clock time and staleness are genuine).
 """
 
 from __future__ import annotations
@@ -16,51 +29,62 @@ from typing import List, Optional
 
 from repro.core import TrainingConfig
 from repro.core.config import ALGORITHMS
-from repro.runtime import available_backends, run_experiment
+from repro.data.registry import dataset_names
+from repro.experiments import (
+    Campaign,
+    ConsoleEvents,
+    ExperimentSpec,
+    ResultStore,
+    Sweep,
+    format_summary,
+    make_executor,
+)
+from repro.nn.registry import model_names
+from repro.runtime import available_backends
 from repro.version import __version__
+
+#: preset name -> TrainingConfig factory (the sweepable scenarios)
+PRESETS = {
+    "tiny": TrainingConfig.tiny,
+    "cifar": TrainingConfig.small_cifar,
+    "imagenet": TrainingConfig.small_imagenet,
+    "spirals": TrainingConfig.spirals,
+    "paper-cifar": TrainingConfig.paper_cifar10,
+    "paper-imagenet": TrainingConfig.paper_imagenet,
+}
 
 
 def _result_payload(result) -> dict:
-    return {
-        "algorithm": result.algorithm,
-        "num_workers": result.num_workers,
-        "bn_mode": result.bn_mode,
-        "backend": result.backend,
-        "seed": result.seed,
-        "final_test_error": result.final_test_error,
-        "final_train_error": result.final_train_error,
-        "best_test_error": result.best_test_error,
-        "total_updates": result.total_updates,
-        "total_virtual_time": result.total_virtual_time,
-        "wall_time": result.wall_time,
-        "staleness": result.staleness,
-        # Tables 2-3: per-iteration overhead (ms) of the server-side predictors
-        "timers": dict(result.timers),
-        "curve": [
-            {
-                "epoch": p.epoch,
-                "time": p.time,
-                "train_error": p.train_error,
-                "test_error": p.test_error,
-            }
-            for p in result.curve
-        ],
-    }
+    """The full result record plus the derived headline numbers."""
+    payload = result.to_dict()
+    payload.update(
+        final_test_error=result.final_test_error,
+        final_train_error=result.final_train_error,
+        best_test_error=result.best_test_error,
+    )
+    return payload
 
 
-def _make_config(args: argparse.Namespace, algorithm: str) -> TrainingConfig:
-    factory = {
-        "cifar": TrainingConfig.small_cifar,
-        "imagenet": TrainingConfig.small_imagenet,
-    }[args.dataset]
+def _make_config(
+    args: argparse.Namespace,
+    algorithm: str,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> TrainingConfig:
+    """Resolve one TrainingConfig from CLI flags (sgd-normalization is
+    config's job now, not ours)."""
+    factory = PRESETS[args.preset]
     overrides = {}
     if args.epochs is not None:
         overrides["epochs"] = args.epochs
         overrides["lr_milestones"] = (args.epochs // 2, (3 * args.epochs) // 4)
+    if args.model is not None:
+        overrides["model"] = args.model
+        overrides["model_kwargs"] = {}  # preset kwargs belong to its own model
     return factory(
         algorithm=algorithm,
-        num_workers=1 if algorithm == "sgd" else args.workers,
-        seed=args.seed,
+        num_workers=int(args.workers) if workers is None else workers,
+        seed=args.seed if seed is None else seed,
         **overrides,
     )
 
@@ -69,6 +93,19 @@ def _backend_options(args: argparse.Namespace) -> dict:
     if args.backend != "thread":
         return {}
     return {"deterministic": args.deterministic}
+
+
+def _make_spec(
+    args: argparse.Namespace,
+    algorithm: str,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        config=_make_config(args, algorithm, seed=seed, workers=workers),
+        backend=args.backend,
+        backend_options=_backend_options(args),
+    )
 
 
 def _print_summary(result) -> None:
@@ -81,9 +118,26 @@ def _print_summary(result) -> None:
           f"({clock}, mean staleness {result.staleness['mean']:.1f})")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=8, help="worker count")
-    parser.add_argument("--dataset", choices=["cifar", "imagenet"], default="cifar")
+def _add_common(parser: argparse.ArgumentParser, multi_worker: bool = False) -> None:
+    if multi_worker:
+        parser.add_argument(
+            "--workers", default="4,8",
+            help="comma-separated worker counts to sweep (e.g. 2,4,8)",
+        )
+    else:
+        parser.add_argument("--workers", type=int, default=8, help="worker count")
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="cifar",
+        help="named experiment preset (scenario + scale)",
+    )
+    parser.add_argument(
+        "--dataset", choices=sorted(dataset_names()), default=None,
+        help="alias for --preset on the small-scale scenarios",
+    )
+    parser.add_argument(
+        "--model", choices=sorted(model_names()), default=None,
+        help="override the preset's model (e.g. resnet_tiny)",
+    )
     parser.add_argument("--epochs", type=int, default=None, help="override preset epochs")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
@@ -97,7 +151,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="thread backend only: round-robin scheduling, reproducible runs",
     )
-    parser.add_argument("--json", metavar="PATH", default=None, help="write results as JSON")
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="stream one line per evaluation point (serial execution only)",
+    )
+
+
+def _resolve_preset(args: argparse.Namespace) -> None:
+    """``--dataset X`` keeps working as shorthand for the matching preset."""
+    if args.dataset is not None:
+        args.preset = args.dataset
+
+
+def _check_jobs(args: argparse.Namespace) -> None:
+    if args.jobs > 1 and args.backend != "sim":
+        raise SystemExit(
+            "--jobs > 1 parallelizes across processes and only supports the sim "
+            "backend; the thread backend already uses every core for its workers"
+        )
+
+
+def _parse_worker_counts(raw: str) -> List[int]:
+    try:
+        counts = [int(w) for w in str(raw).split(",") if w.strip()]
+    except ValueError:
+        raise SystemExit(f"--workers expects comma-separated integers, got {raw!r}")
+    if not counts:
+        raise SystemExit("--workers expects at least one worker count")
+    return counts
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -111,9 +192,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p = sub.add_parser("run", help="train once with one algorithm")
     run_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
     _add_common(run_p)
+    run_p.add_argument("--json", metavar="PATH", default=None, help="write the result as JSON")
 
     cmp_p = sub.add_parser("compare", help="train every algorithm and summarize")
     _add_common(cmp_p)
+    cmp_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="sim backend: run up to N configs in parallel processes",
+    )
+    cmp_p.add_argument("--json", metavar="PATH", default=None, help="write results as JSON")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a declarative algorithms x workers x seeds grid"
+    )
+    sweep_p.add_argument(
+        "--algorithms", default=",".join(ALGORITHMS),
+        help="comma-separated algorithms (default: all)",
+    )
+    _add_common(sweep_p, multi_worker=True)
+    sweep_p.set_defaults(preset="tiny")
+    sweep_p.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds per cell (seed, seed+1, ...)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="sim backend: run up to N grid cells in parallel processes",
+    )
+    sweep_p.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="result-store directory: one JSON per run, keyed by spec hash; "
+             "rerunning resumes from it",
+    )
+
+    rep_p = sub.add_parser("report", help="summarize a result-store directory")
+    rep_p.add_argument("store", help="result-store directory written by sweep --json")
+    rep_p.add_argument("--json", metavar="PATH", default=None, help="write summary rows as JSON")
 
     info_p = sub.add_parser("info", help="describe the resolved configuration")
     info_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
@@ -121,38 +235,103 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.command == "report":
+        return _cmd_report(args)
+    _resolve_preset(args)
     if args.command == "info":
-        config = _make_config(args, args.algorithm)
-        print(json.dumps({k: str(v) for k, v in vars(config).items()}, indent=2))
-        return 0
-
+        return _cmd_info(args)
     if args.command == "run":
-        config = _make_config(args, args.algorithm)
-        print(f"running {config.algorithm} on {config.num_workers} worker(s) "
-              f"[{args.backend} backend]...", flush=True)
-        result = run_experiment(config, backend=args.backend, **_backend_options(args))
-        payload = _result_payload(result)
-        _print_summary(result)
-        if args.json:
-            with open(args.json, "w") as fh:
-                json.dump(payload, fh, indent=2)
-            print(f"wrote {args.json}")
-        return 0
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_sweep(args)
 
-    # compare
-    payloads = []
-    for algorithm in ALGORITHMS:
-        config = _make_config(args, algorithm)
-        print(f"running {algorithm:8s} (M={config.num_workers}) "
-              f"[{args.backend} backend]...", flush=True)
-        result = run_experiment(config, backend=args.backend, **_backend_options(args))
-        payloads.append(_result_payload(result))
-        print(f"  -> test error {result.final_test_error:.2%}")
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+def _cmd_info(args: argparse.Namespace) -> int:
+    config = _make_config(args, args.algorithm)
+    print(json.dumps(config.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _make_spec(args, args.algorithm)
+    report = Campaign([spec], events=ConsoleEvents(verbose=args.verbose)).run()
+    result = report.results[0]
+    _print_summary(result)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(_result_payload(result), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    _check_jobs(args)
+    specs = [_make_spec(args, algorithm) for algorithm in ALGORITHMS]
+    report = Campaign(
+        specs,
+        executor=make_executor(args.jobs),
+        events=ConsoleEvents(verbose=args.verbose),
+    ).run()
+    payloads = [_result_payload(result) for result in report.results]
     best = min(payloads, key=lambda p: p["final_test_error"])
     print(f"\nbest: {best['algorithm']} at {best['final_test_error']:.2%}")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(payloads, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    _check_jobs(args)
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    unknown = sorted(set(algorithms) - set(ALGORITHMS))
+    if unknown:
+        raise SystemExit(f"unknown algorithm(s) {', '.join(unknown)}; "
+                         f"choose from {', '.join(ALGORITHMS)}")
+    workers = _parse_worker_counts(args.workers)
+    seeds = [args.seed + i for i in range(max(1, args.seeds))]
+
+    grid = (
+        Sweep("algorithm", algorithms)
+        * Sweep("num_workers", workers)
+        * Sweep("seed", seeds)
+    )
+    specs = [
+        _make_spec(
+            args, point["algorithm"], seed=point["seed"], workers=point["num_workers"]
+        ).with_tags("sweep")
+        for point in grid.points()
+    ]
+    store = ResultStore(args.json) if args.json else None
+    report = Campaign(
+        specs,
+        executor=make_executor(args.jobs),
+        store=store,
+        events=ConsoleEvents(verbose=args.verbose),
+    ).run()
+    print()
+    print(format_summary(report.summarize()))
+    if store is not None:
+        print(f"\nstore: {store.root} ({len(store)} record(s))")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if not Path(args.store).is_dir():  # report is read-only: never mkdir
+        raise SystemExit(f"no result store at {args.store!r}")
+    store = ResultStore(args.store)
+    rows = store.summarize()
+    print(format_summary(rows))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(rows, fh, indent=2)
         print(f"wrote {args.json}")
     return 0
 

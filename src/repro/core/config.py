@@ -8,8 +8,8 @@ noted) so benches and examples stay declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 ALGORITHMS = ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd", "sa-asgd")
 BN_MODES = ("local", "replace", "async")
@@ -103,9 +103,9 @@ class TrainingConfig:
     dc_adaptive: bool = True
 
     # model / dataset
-    model: str = "mlp"  # mlp | resnet18 | resnet50 | resnet_tiny
+    model: str = "mlp"  # any name in repro.nn.registry (mlp, resnet18, ...)
     model_kwargs: Dict = field(default_factory=dict)
-    dataset: str = "cifar"  # cifar | imagenet | spirals
+    dataset: str = "cifar"  # any name in repro.data.registry (cifar, imagenet, spirals)
     dataset_kwargs: Dict = field(default_factory=dict)
 
     # cluster
@@ -127,8 +127,12 @@ class TrainingConfig:
             raise ValueError(
                 f"compensation must be one of {COMPENSATION_MODES}, got {self.compensation!r}"
             )
-        if self.algorithm == "sgd" and self.num_workers != 1:
-            raise ValueError("sequential SGD runs with exactly one worker")
+        if self.algorithm == "sgd":
+            # sequential SGD runs with exactly one worker.  Normalizing here
+            # (rather than raising) is what lets sweep grids include "sgd"
+            # alongside multi-worker counts — every caller used to repeat
+            # ``num_workers=1 if algorithm == "sgd" else n`` by hand.
+            self.num_workers = 1
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if self.batch_size < 1 or self.epochs < 1:
@@ -137,6 +141,24 @@ class TrainingConfig:
             raise ValueError("bn_decay must be in (0, 1]")
         if self.lc_lambda < 0:
             raise ValueError("lc_lambda must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested dict: dataclasses recurse, tuples become lists.
+
+        One serialization serves ``repro info``, the experiment-spec hash
+        and the result store, so it must stay deterministic: field order is
+        declaration order and every value is a JSON scalar/list/dict.
+        """
+
+        def convert(value: Any) -> Any:
+            if isinstance(value, dict):
+                return {k: convert(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [convert(v) for v in value]
+            return value
+
+        return convert(asdict(self))
 
     # ------------------------------------------------------------------ #
     # named experiment presets
@@ -150,7 +172,7 @@ class TrainingConfig:
         """
         defaults = dict(
             algorithm=algorithm,
-            num_workers=1 if algorithm == "sgd" else num_workers,
+            num_workers=num_workers,
             model="mlp",
             model_kwargs={"hidden": (96, 48), "batch_norm": True},
             dataset="cifar",
@@ -181,7 +203,7 @@ class TrainingConfig:
         """Laptop-scale ImageNet stand-in: 27 classes, 12x12 images."""
         defaults = dict(
             algorithm=algorithm,
-            num_workers=1 if algorithm == "sgd" else num_workers,
+            num_workers=num_workers,
             model="mlp",
             model_kwargs={"hidden": (160, 64), "batch_norm": True},
             dataset="imagenet",
@@ -216,7 +238,7 @@ class TrainingConfig:
         """
         defaults = dict(
             algorithm=algorithm,
-            num_workers=1 if algorithm == "sgd" else num_workers,
+            num_workers=num_workers,
             model="resnet18",
             model_kwargs={"base_width": 16},
             dataset="cifar",
@@ -235,7 +257,7 @@ class TrainingConfig:
         """The paper's ImageNet setting: ResNet-50, 120 epochs, /10 at {60,90}."""
         defaults = dict(
             algorithm=algorithm,
-            num_workers=1 if algorithm == "sgd" else num_workers,
+            num_workers=num_workers,
             model="resnet50",
             model_kwargs={"base_width": 16},
             dataset="imagenet",
@@ -255,7 +277,7 @@ class TrainingConfig:
         """Seconds-scale config for unit/integration tests."""
         defaults = dict(
             algorithm=algorithm,
-            num_workers=1 if algorithm == "sgd" else num_workers,
+            num_workers=num_workers,
             model="mlp",
             model_kwargs={"hidden": (32,), "batch_norm": True},
             dataset="cifar",
@@ -268,6 +290,34 @@ class TrainingConfig:
             predictor=PredictorConfig(loss_hidden=8, step_hidden=8, loss_window=6, step_window=4),
             eval_train_samples=128,
             eval_test_samples=128,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def spirals(cls, algorithm: str = "lc-asgd", num_workers: int = 4, **overrides) -> "TrainingConfig":
+        """Seconds-scale 2-D spirals scenario: the non-image workload.
+
+        Exercises the same staleness dynamics on a dataset with no channel
+        structure — useful for sweeps that vary cluster timing rather than
+        model capacity.
+        """
+        defaults = dict(
+            algorithm=algorithm,
+            num_workers=num_workers,
+            model="mlp",
+            model_kwargs={"hidden": (32, 16), "batch_norm": True},
+            dataset="spirals",
+            dataset_kwargs={"num_samples": 900, "noise": 0.25},
+            batch_size=32,
+            epochs=6,
+            base_lr=0.1,
+            momentum=0.9,
+            lr_milestones=(4,),
+            bn_mode="local" if algorithm == "sgd" else "async",
+            predictor=PredictorConfig(loss_hidden=8, step_hidden=8, loss_window=6, step_window=4),
+            eval_train_samples=256,
+            eval_test_samples=180,
         )
         defaults.update(overrides)
         return cls(**defaults)

@@ -34,6 +34,29 @@ class CurvePoint:
     test_error: float
     test_loss: float
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready mapping of every field."""
+        return {
+            "epoch": self.epoch,
+            "time": self.time,
+            "train_error": self.train_error,
+            "train_loss": self.train_loss,
+            "test_error": self.test_error,
+            "test_loss": self.test_loss,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "CurvePoint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            epoch=int(payload["epoch"]),
+            time=float(payload["time"]),
+            train_error=float(payload["train_error"]),
+            train_loss=float(payload["train_loss"]),
+            test_error=float(payload["test_error"]),
+            test_loss=float(payload["test_loss"]),
+        )
+
 
 @dataclass
 class RunResult:
@@ -105,6 +128,51 @@ class RunResult:
             return float("nan")
         arr = np.array(self.step_prediction_pairs, dtype=np.float64)
         return float(np.abs(arr[:, 1] - arr[:, 0]).mean())
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-ready mapping of the full result (the result-store format).
+
+        Pair lists become lists-of-lists; :meth:`from_dict` restores the
+        tuples.  Derived summaries (``final_test_error`` etc.) are *not*
+        included — they recompute from the curve on load.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "num_workers": self.num_workers,
+            "bn_mode": self.bn_mode,
+            "curve": [p.to_dict() for p in self.curve],
+            "staleness": dict(self.staleness),
+            "loss_prediction_pairs": [list(p) for p in self.loss_prediction_pairs],
+            "step_prediction_pairs": [list(p) for p in self.step_prediction_pairs],
+            "finishing_order": list(self.finishing_order),
+            "timers": dict(self.timers),
+            "total_updates": self.total_updates,
+            "total_virtual_time": self.total_virtual_time,
+            "seed": self.seed,
+            "backend": self.backend,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunResult":
+        """Inverse of :meth:`to_dict` (how the result store rehydrates runs)."""
+        return cls(
+            algorithm=payload["algorithm"],
+            num_workers=int(payload["num_workers"]),
+            bn_mode=payload["bn_mode"],
+            curve=[CurvePoint.from_dict(p) for p in payload["curve"]],
+            staleness={k: float(v) for k, v in payload["staleness"].items()},
+            loss_prediction_pairs=[tuple(p) for p in payload["loss_prediction_pairs"]],
+            step_prediction_pairs=[tuple(p) for p in payload["step_prediction_pairs"]],
+            finishing_order=[int(m) for m in payload["finishing_order"]],
+            timers={k: float(v) for k, v in payload["timers"].items()},
+            total_updates=int(payload["total_updates"]),
+            total_virtual_time=float(payload["total_virtual_time"]),
+            seed=int(payload["seed"]),
+            backend=payload["backend"],
+            wall_time=float(payload["wall_time"]),
+        )
 
 
 def degradation(error: float, baseline_error: float) -> float:

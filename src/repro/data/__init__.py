@@ -9,6 +9,12 @@ paper-matching class counts).  See DESIGN.md's substitution table.
 from repro.data.dataset import ArrayDataset, Dataset, train_test_split
 from repro.data.loader import BatchSampler, DataLoader
 from repro.data.partition import partition_indices, shard_dataset
+from repro.data.registry import (
+    DATASETS,
+    build_dataset,
+    dataset_names,
+    register_dataset,
+)
 from repro.data.synthetic import (
     SyntheticCIFAR10,
     SyntheticImageNet,
@@ -21,6 +27,10 @@ __all__ = [
     "Dataset",
     "ArrayDataset",
     "train_test_split",
+    "DATASETS",
+    "build_dataset",
+    "dataset_names",
+    "register_dataset",
     "DataLoader",
     "BatchSampler",
     "SyntheticCIFAR10",

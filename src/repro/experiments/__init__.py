@@ -1,0 +1,75 @@
+"""repro.experiments — the declarative experiment API.
+
+The paper's evidence is *campaigns* — every algorithm × worker count ×
+seed, summarized into curves and overhead tables.  This package expresses
+those grids declaratively and executes them with resume, parallelism and
+persistence:
+
+* :mod:`~repro.experiments.spec` — :class:`ExperimentSpec`: config +
+  backend + options + tags, content-addressed by :meth:`ExperimentSpec.key`.
+* :mod:`~repro.experiments.sweep` — :class:`Sweep`/:class:`Grid`
+  combinators expanding axes (algorithms, worker counts, seeds, cluster
+  timing models) into spec lists.
+* :mod:`~repro.experiments.store` — :class:`ResultStore`: one JSON per
+  run keyed by spec hash; skip-if-cached resume; ``summarize()`` for the
+  paper-style tables.
+* :mod:`~repro.experiments.executors` — :class:`SerialExecutor` and the
+  sim-backend :class:`MultiprocessExecutor` pool.
+* :mod:`~repro.experiments.campaign` — :class:`Campaign`: dedupe, resume,
+  execute, persist, notify.
+* :mod:`~repro.experiments.events` — :class:`CampaignEvents` observer
+  hooks (``on_run_start`` / ``on_curve_point`` / ``on_run_end``).
+
+Quickstart::
+
+    from repro.core import TrainingConfig
+    from repro.experiments import Campaign, Grid, ResultStore, Sweep
+
+    grid = (Sweep("algorithm", ["asgd", "dc-asgd", "lc-asgd"])
+            * Sweep("num_workers", [4, 8])
+            * Sweep("seed", [0, 1, 2]))
+    campaign = Campaign(
+        grid.specs(TrainingConfig.small_cifar),
+        store=ResultStore("out/sweep"),
+    )
+    report = campaign.run()          # rerunning resumes from out/sweep
+    rows = report.summarize()        # (algorithm x M) seed-averaged table
+"""
+
+from repro.experiments.campaign import Campaign, CampaignResult, CampaignRun
+from repro.experiments.events import CampaignEvents, ConsoleEvents
+from repro.experiments.executors import (
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    execute_spec,
+    make_executor,
+)
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import (
+    ResultStore,
+    StoreRecord,
+    format_summary,
+    summarize_results,
+)
+from repro.experiments.sweep import Grid, Sweep
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CampaignRun",
+    "CampaignEvents",
+    "ConsoleEvents",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
+    "execute_spec",
+    "ExperimentSpec",
+    "ResultStore",
+    "StoreRecord",
+    "summarize_results",
+    "format_summary",
+    "Grid",
+    "Sweep",
+]

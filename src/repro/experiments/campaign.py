@@ -1,0 +1,148 @@
+"""Campaign: execute a batch of ExperimentSpecs with resume and events.
+
+The runner at the heart of the declarative API.  A Campaign takes the
+specs a :class:`~repro.experiments.sweep.Grid` expanded, dedupes them by
+content key, skips whatever its :class:`~repro.experiments.store.
+ResultStore` already holds (resume), hands the remainder to an
+:class:`~repro.experiments.executors.Executor`, persists every fresh
+result, and reports progress through
+:class:`~repro.experiments.events.CampaignEvents`.
+
+    store = ResultStore("out/")
+    specs = grid.specs(TrainingConfig.small_cifar)
+    campaign = Campaign(specs, store=store, executor=MultiprocessExecutor(4))
+    report = campaign.run()
+    print(format_summary(report.summarize()))
+
+Running the same campaign twice completes instantly the second time: every
+spec resolves from the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.metrics import RunResult
+from repro.experiments.events import CampaignEvents
+from repro.experiments.executors import Executor, SerialExecutor
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ResultStore, scenario_label, summarize_results
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.campaign")
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One completed cell: its spec, key, result and provenance."""
+
+    spec: ExperimentSpec
+    key: str
+    result: RunResult
+    cached: bool  # True if the result came from the store, not execution
+
+
+class CampaignResult:
+    """Every run of a finished campaign, in spec order."""
+
+    def __init__(self, runs: Sequence[CampaignRun]) -> None:
+        self.runs: List[CampaignRun] = list(runs)
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [run.result for run in self.runs]
+
+    @property
+    def executed(self) -> List[CampaignRun]:
+        """Runs actually computed this invocation."""
+        return [run for run in self.runs if not run.cached]
+
+    @property
+    def cached(self) -> List[CampaignRun]:
+        """Runs resolved from the store."""
+        return [run for run in self.runs if run.cached]
+
+    def summarize(self) -> List[Dict[str, Any]]:
+        """Paper-style aggregate rows (see store.summarize_results)."""
+        return summarize_results(
+            self.results,
+            scenarios=[scenario_label(run.spec.config.to_dict()) for run in self.runs],
+        )
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+class Campaign:
+    """Run a deduplicated batch of specs with optional store and events."""
+
+    def __init__(
+        self,
+        specs: Sequence[ExperimentSpec],
+        executor: Optional[Executor] = None,
+        store: Optional[ResultStore] = None,
+        events: Optional[CampaignEvents] = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("a campaign needs at least one spec")
+        self.specs = _dedupe(specs)
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.store = store
+        self.events = events if events is not None else CampaignEvents()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignResult:
+        """Execute (or recall) every spec and return the full result set."""
+        total = len(self.specs)
+        slots: List[Optional[CampaignRun]] = [None] * total
+        pending: List = []
+
+        for index, spec in enumerate(self.specs):
+            key = spec.key()
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                slots[index] = CampaignRun(spec=spec, key=key, result=cached, cached=True)
+            else:
+                pending.append((index, spec))
+
+        self.events.on_campaign_start(total, total - len(pending))
+        logger.info(
+            "campaign: %d spec(s), %d cached, %d to run via %s",
+            total, total - len(pending), len(pending), self.executor.name,
+        )
+
+        # cached runs report first, in order, so progress output is stable
+        for index, run in enumerate(slots):
+            if run is not None:
+                self.events.on_run_end(run.spec, run.result, True, index, total)
+
+        # executors yield each run as it completes; persisting inside the
+        # loop is what makes a killed campaign resume from its finished
+        # prefix instead of losing the whole batch
+        for index, spec, result in self.executor.run(pending, total, self.events):
+            key = spec.key()
+            if self.store is not None:
+                self.store.put(spec, result)
+            slots[index] = CampaignRun(spec=spec, key=key, result=result, cached=False)
+            self.events.on_run_end(spec, result, False, index, total)
+
+        runs = [run for run in slots if run is not None]
+        assert len(runs) == total, "executor dropped a job"
+        report = CampaignResult(runs)
+        self.events.on_campaign_end(report)
+        return report
+
+
+def _dedupe(specs: Sequence[ExperimentSpec]) -> List[ExperimentSpec]:
+    """Drop later duplicates by content key (e.g. sgd at every M is one run)."""
+    seen = set()
+    unique: List[ExperimentSpec] = []
+    for spec in specs:
+        key = spec.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(spec)
+    if len(unique) < len(specs):
+        logger.info("campaign: deduplicated %d identical spec(s)", len(specs) - len(unique))
+    return unique

@@ -1,0 +1,82 @@
+"""Campaign event hooks: the observer seam that replaced CLI prints.
+
+Anything that wants to watch a campaign — the CLI's progress lines, a
+notebook progress bar, a future live dashboard — implements
+:class:`CampaignEvents` and passes it to the
+:class:`~repro.experiments.campaign.Campaign`.  The base class is all
+no-ops so observers override only what they need.
+
+``on_curve_point`` fires as each evaluation snapshot is recorded, via the
+:attr:`~repro.runtime.session.ExperimentPlan.on_curve_point` plan hook.
+It only fires for runs executed in-process (the serial executor): results
+computed in a worker process arrive whole, so pool campaigns see
+``on_run_start``/``on_run_end`` but no per-point stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import CurvePoint, RunResult
+from repro.experiments.spec import ExperimentSpec
+
+
+class CampaignEvents:
+    """Override any subset; every callback defaults to a no-op."""
+
+    def on_campaign_start(self, total: int, cached: int) -> None:
+        """Called once, before any run: grid size and how many are cached."""
+
+    def on_run_start(self, spec: ExperimentSpec, index: int, total: int) -> None:
+        """Called as ``spec`` is handed to the executor (0-based ``index``)."""
+
+    def on_curve_point(self, spec: ExperimentSpec, point: CurvePoint) -> None:
+        """Called per evaluation snapshot (serial executor only)."""
+
+    def on_run_end(
+        self, spec: ExperimentSpec, result: RunResult, cached: bool, index: int, total: int
+    ) -> None:
+        """Called when ``spec`` has a result; ``cached`` means store hit."""
+
+    def on_campaign_end(self, result) -> None:
+        """Called once with the finished CampaignResult."""
+
+
+class ConsoleEvents(CampaignEvents):
+    """The CLI's progress reporting, factored out of ``cli.py``.
+
+    ``verbose`` additionally streams one line per curve point — useful for
+    watching a long serial run converge.
+    """
+
+    def __init__(self, verbose: bool = False, stream=None) -> None:
+        import sys
+
+        self.verbose = verbose
+        self.stream = stream if stream is not None else sys.stdout
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+
+    def on_campaign_start(self, total: int, cached: int) -> None:
+        if cached:
+            self._emit(f"campaign: {total} run(s), {cached} already in store")
+        else:
+            self._emit(f"campaign: {total} run(s)")
+
+    def on_run_start(self, spec: ExperimentSpec, index: int, total: int) -> None:
+        self._emit(f"[{index + 1}/{total}] running {spec.label()}...")
+
+    def on_curve_point(self, spec: ExperimentSpec, point: CurvePoint) -> None:
+        if self.verbose:
+            self._emit(
+                f"    epoch {point.epoch:3d}  t={point.time:8.1f}s  "
+                f"train_err={point.train_error:.4f}  test_err={point.test_error:.4f}"
+            )
+
+    def on_run_end(
+        self, spec: ExperimentSpec, result: RunResult, cached: bool, index: int, total: int
+    ) -> None:
+        source = "cached" if cached else "done"
+        self._emit(
+            f"[{index + 1}/{total}] {source}: {spec.label()} "
+            f"-> test error {result.final_test_error:.2%}"
+        )

@@ -1,0 +1,139 @@
+"""Campaign executors: how a batch of specs actually gets run.
+
+Two strategies behind one protocol:
+
+* :class:`SerialExecutor` — in-process, one spec at a time.  Fully
+  deterministic ordering, and the only executor that can stream
+  ``on_curve_point`` events (the run shares the observer's process).
+* :class:`MultiprocessExecutor` — a ``multiprocessing`` pool.  The sim
+  backend is single-threaded pure NumPy, so a compare-style grid
+  parallelizes embarrassingly across processes: a genuine wall-clock
+  speedup (see ``benchmarks/bench_campaign_executors.py``).  Restricted to
+  the ``sim`` backend — the thread backend already saturates cores with
+  its own worker threads, and forking a threaded runtime is unsound.
+
+Executors receive ``(index, spec)`` jobs (indices are campaign-global so
+progress lines count cached runs too) and *yield* ``(index, spec, result)``
+triples as each run completes — streaming is load-bearing: the Campaign
+persists every triple the moment it arrives, which is what makes a killed
+campaign resumable from its completed prefix.  Persistence stays in the
+Campaign, so a pool worker never touches the store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Iterator, Sequence, Tuple
+
+from repro.core.metrics import RunResult
+from repro.experiments.events import CampaignEvents
+from repro.experiments.spec import ExperimentSpec
+from repro.runtime.backends import get_backend
+from repro.runtime.session import ExperimentPlan
+
+#: an executor job: (campaign-global index, spec)
+Job = Tuple[int, ExperimentSpec]
+
+
+def execute_spec(spec: ExperimentSpec, on_curve_point=None) -> RunResult:
+    """Run one spec to completion: plan -> backend -> RunResult.
+
+    Module-level so multiprocessing can pickle it by reference.
+    ``on_curve_point`` (in-process callers only) receives each CurvePoint
+    as it is recorded.
+    """
+    plan = ExperimentPlan.from_config(spec.config)
+    plan.on_curve_point = on_curve_point
+    return get_backend(spec.backend, **spec.backend_options).run(plan)
+
+
+def _execute_job(job: Job) -> Tuple[int, RunResult]:
+    """Pool worker wrapper keeping the campaign-global index attached."""
+    index, spec = job
+    return index, execute_spec(spec)
+
+
+class Executor:
+    """Protocol: run jobs, fire events, yield (index, spec, result) as done."""
+
+    name = "abstract"
+
+    def run(
+        self, jobs: Sequence[Job], total: int, events: CampaignEvents
+    ) -> Iterator[Tuple[int, ExperimentSpec, RunResult]]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """One spec at a time, in-process, with live curve-point streaming."""
+
+    name = "serial"
+
+    def run(
+        self, jobs: Sequence[Job], total: int, events: CampaignEvents
+    ) -> Iterator[Tuple[int, ExperimentSpec, RunResult]]:
+        for index, spec in jobs:
+            events.on_run_start(spec, index, total)
+            result = execute_spec(
+                spec, on_curve_point=lambda point, spec=spec: events.on_curve_point(spec, point)
+            )
+            yield index, spec, result
+
+
+class MultiprocessExecutor(Executor):
+    """A process pool over sim-backend specs.
+
+    ``processes`` defaults to ``os.cpu_count()`` capped at the job count.
+    ``start_method`` defaults to ``fork`` where the platform offers it
+    (cheap on Linux) and ``spawn`` elsewhere; workers re-import ``repro``,
+    so the package must be importable in children (it is whenever the
+    parent could import it).
+    """
+
+    name = "pool"
+
+    def __init__(self, processes: int = 0, start_method: str = "") -> None:
+        self.processes = processes
+        self.start_method = start_method
+
+    def _context(self):
+        method = self.start_method
+        if not method:
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        return mp.get_context(method)
+
+    def run(
+        self, jobs: Sequence[Job], total: int, events: CampaignEvents
+    ) -> Iterator[Tuple[int, ExperimentSpec, RunResult]]:
+        for _, spec in jobs:
+            if spec.backend != "sim":
+                raise ValueError(
+                    f"MultiprocessExecutor only runs the 'sim' backend; "
+                    f"{spec.label()} requests {spec.backend!r} "
+                    f"(use SerialExecutor for thread-backend grids)"
+                )
+        return self._stream(list(jobs), total, events)
+
+    def _stream(
+        self, jobs: Sequence[Job], total: int, events: CampaignEvents
+    ) -> Iterator[Tuple[int, ExperimentSpec, RunResult]]:
+        if not jobs:
+            return
+        procs = self.processes or (mp.cpu_count() or 1)
+        procs = max(1, min(procs, len(jobs)))
+        for index, spec in jobs:
+            events.on_run_start(spec, index, total)
+        specs = {index: spec for index, spec in jobs}
+        ctx = self._context()
+        with ctx.Pool(processes=procs) as pool:
+            # unordered so each finished run is yielded (and persisted by
+            # the Campaign) immediately, not behind a slower earlier job
+            for index, result in pool.imap_unordered(_execute_job, list(jobs)):
+                yield index, specs[index], result
+
+
+def make_executor(jobs: int = 1) -> Executor:
+    """The CLI's ``--jobs N`` rule: 1 -> serial, >1 -> pool of N."""
+    if jobs <= 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(processes=jobs)

@@ -1,0 +1,81 @@
+"""ExperimentSpec: one fully-described run, with a content-addressed key.
+
+A spec is the unit of the declarative experiment API: *what* to run (a
+:class:`~repro.core.config.TrainingConfig`), *how* to execute it (a backend
+name plus backend options), and free-form ``tags`` for bookkeeping.  Its
+:meth:`key` is a stable hash of the config + backend identity — the same
+spec always maps to the same key, which is what lets the
+:class:`~repro.experiments.store.ResultStore` resume interrupted campaigns
+by skipping completed runs.
+
+Tags are deliberately excluded from the key: relabelling a run must not
+invalidate its cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.core.config import TrainingConfig
+
+#: hex digits of SHA-256 kept in a key — 64 bits, ample for any campaign
+KEY_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Config + backend + backend options + tags: one declarative run."""
+
+    config: TrainingConfig
+    backend: str = "sim"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # normalize mutable inputs so specs hash and serialize consistently
+        object.__setattr__(self, "backend_options", dict(self.backend_options))
+        object.__setattr__(self, "tags", _as_tag_tuple(self.tags))
+
+    # ------------------------------------------------------------------ #
+    def identity(self) -> Dict[str, Any]:
+        """The JSON document the key hashes: config + backend, never tags."""
+        return {
+            "config": self.config.to_dict(),
+            "backend": self.backend,
+            "backend_options": dict(self.backend_options),
+        }
+
+    def key(self) -> str:
+        """Content-addressed key: SHA-256 of the canonical identity JSON."""
+        canonical = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:KEY_LENGTH]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (identity + tags + key) for persistence."""
+        payload = self.identity()
+        payload["tags"] = list(self.tags)
+        payload["key"] = self.key()
+        return payload
+
+    def label(self) -> str:
+        """Short human-readable handle for progress lines and tables."""
+        cfg = self.config
+        return f"{cfg.algorithm}@M{cfg.num_workers} seed={cfg.seed} [{self.backend}]"
+
+    def with_tags(self, *tags: str) -> "ExperimentSpec":
+        """A copy with extra tags appended (key is unchanged by design)."""
+        return ExperimentSpec(
+            config=self.config,
+            backend=self.backend,
+            backend_options=dict(self.backend_options),
+            tags=self.tags + _as_tag_tuple(tags),
+        )
+
+
+def _as_tag_tuple(tags: Iterable[str]) -> Tuple[str, ...]:
+    if isinstance(tags, str):  # a lone string is one tag, not characters
+        return (tags,)
+    return tuple(str(t) for t in tags)

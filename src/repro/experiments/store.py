@@ -1,0 +1,227 @@
+"""ResultStore: content-addressed JSON persistence for campaign runs.
+
+Each run is one file, ``<key>.json``, where the key is the spec's hash
+(:meth:`~repro.experiments.spec.ExperimentSpec.key`).  That gives three
+properties the hand-rolled ``--json`` dump never had:
+
+* **resume** — re-running a campaign skips every spec whose key is already
+  on disk, so an interrupted grid finishes from where it stopped;
+* **dedup** — two identical specs (e.g. ``sgd`` normalized to one worker
+  at every swept worker count) share one file;
+* **aggregation** — :meth:`ResultStore.summarize` rebuilds the paper-style
+  (algorithm × workers) tables from whatever runs have landed so far.
+
+Writes are atomic (temp file + rename) so a killed campaign never leaves a
+half-written record behind to poison a resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.metrics import RunResult
+from repro.experiments.spec import ExperimentSpec
+
+#: schema version stamped into every record
+STORE_VERSION = 1
+
+
+def _to_builtin(value: Any) -> Any:
+    """JSON default hook: numpy scalars/arrays -> native Python."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One persisted run: its key, the spec document, and the result."""
+
+    key: str
+    spec: Dict[str, Any]
+    result: RunResult
+
+
+class ResultStore:
+    """A directory of ``<key>.json`` run records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, spec_or_key: Union[ExperimentSpec, str]) -> Path:
+        """The file a spec (or raw key) lives at."""
+        key = spec_or_key.key() if isinstance(spec_or_key, ExperimentSpec) else spec_or_key
+        return self.root / f"{key}.json"
+
+    def __contains__(self, spec_or_key: Union[ExperimentSpec, str]) -> bool:
+        return self.path_for(spec_or_key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> Tuple[str, ...]:
+        """Keys of every persisted record, sorted."""
+        return tuple(sorted(p.stem for p in self.root.glob("*.json")))
+
+    # ------------------------------------------------------------------ #
+    def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
+        """Persist one run atomically; returns the record path."""
+        path = self.path_for(spec)
+        payload = {
+            "version": STORE_VERSION,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, default=_to_builtin)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def get(self, spec_or_key: Union[ExperimentSpec, str]) -> Optional[RunResult]:
+        """The stored result for a spec/key, or None if absent."""
+        path = self.path_for(spec_or_key)
+        if not path.exists():
+            return None
+        return self._load(path).result
+
+    def load(self, key: str) -> StoreRecord:
+        """The full record under ``key``; missing keys raise."""
+        path = self.path_for(key)
+        if not path.exists():
+            raise KeyError(f"no record {key!r} in {self.root}")
+        return self._load(path)
+
+    def records(self) -> Iterator[StoreRecord]:
+        """Every persisted record, in key order."""
+        for key in self.keys():
+            yield self._load(self.path_for(key))
+
+    def results(self) -> List[RunResult]:
+        """Every persisted RunResult, in key order."""
+        return [record.result for record in self.records()]
+
+    def _load(self, path: Path) -> StoreRecord:
+        with open(path) as fh:
+            payload = json.load(fh)
+        return StoreRecord(
+            key=path.stem,
+            spec=payload["spec"],
+            result=RunResult.from_dict(payload["result"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    def summarize(self) -> List[Dict[str, Any]]:
+        """Paper-style aggregate rows over everything in the store."""
+        records = list(self.records())
+        return summarize_results(
+            [r.result for r in records],
+            scenarios=[scenario_label(r.spec.get("config", {})) for r in records],
+        )
+
+
+# ---------------------------------------------------------------------- #
+# aggregation (shared by the store and in-memory campaign results)
+# ---------------------------------------------------------------------- #
+def scenario_label(config: Dict[str, Any]) -> str:
+    """Short workload handle (dataset/model/epochs) for summary grouping.
+
+    A RunResult alone does not know what data it trained on; grouping by
+    this label keeps runs from different presets (or epoch budgets) in
+    separate rows when one store accumulates several campaigns.
+    """
+    if not config:
+        return ""
+    return (
+        f"{config.get('dataset', '?')}/{config.get('model', '?')}"
+        f"/e{config.get('epochs', '?')}"
+    )
+
+
+def summarize_results(
+    results: Sequence[RunResult], scenarios: Optional[Sequence[str]] = None
+) -> List[Dict[str, Any]]:
+    """Group runs by (scenario, algorithm, workers, backend), average seeds.
+
+    Row fields mirror the paper's tables: seed-averaged final/best test
+    error, mean staleness, clock time, and per-iteration predictor
+    overhead (Tables 2-3) where recorded.  ``scenarios`` (parallel to
+    ``results``) separates runs of different workloads that share an
+    algorithm/worker cell; without it every run lands in scenario "".
+    """
+    if scenarios is None:
+        scenarios = [""] * len(results)
+    cells: Dict[Tuple[str, str, int, str], List[RunResult]] = {}
+    for result, scenario in zip(results, scenarios):
+        cells.setdefault(
+            (scenario, result.algorithm, result.num_workers, result.backend), []
+        ).append(result)
+
+    rows: List[Dict[str, Any]] = []
+    for (scenario, algorithm, workers, backend), runs in sorted(cells.items()):
+        final_errors = np.array([r.final_test_error for r in runs], dtype=np.float64)
+        rows.append(
+            {
+                "scenario": scenario,
+                "algorithm": algorithm,
+                "num_workers": workers,
+                "backend": backend,
+                "runs": len(runs),
+                "seeds": sorted(r.seed for r in runs),
+                "final_test_error": float(final_errors.mean()),
+                "final_test_error_std": float(final_errors.std()),
+                "best_test_error": float(np.mean([r.best_test_error for r in runs])),
+                "mean_staleness": float(
+                    np.mean([r.staleness.get("mean", 0.0) for r in runs])
+                ),
+                "clock_time": float(np.mean([r.total_virtual_time for r in runs])),
+                "loss_pred_ms": float(
+                    np.mean([r.timers.get("loss_pred_ms", 0.0) for r in runs])
+                ),
+            }
+        )
+    return rows
+
+
+def format_summary(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render summarize() rows as the CLI's aligned text table.
+
+    The scenario column appears only when the rows span more than one
+    workload (one campaign's table stays compact).
+    """
+    if not rows:
+        return "(no runs)"
+    scenarios = {row.get("scenario", "") for row in rows}
+    show_scenario = len(scenarios) > 1
+    scen_w = max(len("scenario"), *(len(s) for s in scenarios)) if show_scenario else 0
+    header = (
+        (f"{'scenario':<{scen_w}} " if show_scenario else "")
+        + f"{'algorithm':<10} {'M':>3} {'backend':<7} {'runs':>4} "
+        f"{'test err':>9} {'±std':>7} {'best':>7} {'stale':>6} {'clock(s)':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            (f"{row.get('scenario', ''):<{scen_w}} " if show_scenario else "")
+            + f"{row['algorithm']:<10} {row['num_workers']:>3} {row['backend']:<7} "
+            f"{row['runs']:>4} {row['final_test_error']:>8.2%} "
+            f"{row['final_test_error_std']:>7.4f} {row['best_test_error']:>6.2%} "
+            f"{row['mean_staleness']:>6.1f} {row['clock_time']:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Sweep/Grid combinators: declarative expansion of experiment grids.
+
+The paper's evidence is never one run — it is every algorithm × worker
+count × seed (Figures 4-6, Tables 1-3).  These combinators express such
+grids without hand-rolled loops:
+
+    >>> from repro.core import TrainingConfig
+    >>> from repro.experiments import Grid, Sweep
+    >>> grid = (Sweep("algorithm", ["asgd", "lc-asgd"])
+    ...         * Sweep("num_workers", [4, 8, 16])
+    ...         * Sweep("seed", [0, 1, 2]))
+    >>> specs = grid.specs(TrainingConfig.small_cifar)
+    >>> len(specs)
+    18
+
+Axis names are :class:`~repro.core.config.TrainingConfig` field names (or
+preset-factory arguments): ``algorithm``, ``num_workers``, ``seed``,
+``cluster`` (values are :class:`~repro.core.config.ClusterConfig` timing
+models), ``epochs``, ...  The base may be a preset *factory* — preferred,
+because presets derive dependent fields such as ``bn_mode`` from the
+algorithm — or a concrete config, overridden per point.
+
+When sweeping ``algorithm`` from a *concrete* base, do not build that base
+with ``algorithm="sgd"``: config normalization pins sgd configs to one
+worker at construction, so every derived spec would inherit
+``num_workers=1``.  Use a factory (or a non-sgd base) and let each point
+resolve its own worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.core.config import TrainingConfig
+from repro.experiments.spec import ExperimentSpec
+
+#: a grid expands against either a preset factory or a concrete config
+ConfigBase = Union[TrainingConfig, Callable[..., TrainingConfig]]
+
+
+class Sweep:
+    """One named axis: a config field and the values it takes."""
+
+    def __init__(self, name: str, values: Iterable[Any]) -> None:
+        if not name:
+            raise ValueError("sweep axis name must be non-empty")
+        self.name = name
+        self.values: Tuple[Any, ...] = tuple(values)
+        if not self.values:
+            raise ValueError(f"sweep axis {name!r} has no values")
+
+    def __mul__(self, other: Union["Sweep", "Grid"]) -> "Grid":
+        return Grid.of(self) * other
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Sweep({self.name!r}, {list(self.values)!r})"
+
+
+class Grid:
+    """Cross-product of sweep axes, expandable into ExperimentSpecs.
+
+    Construct from keyword axes (``Grid(algorithm=[...], seed=[...])``) or
+    by multiplying :class:`Sweep` objects.  Point order is deterministic:
+    axes vary rightmost-fastest in declaration order, so resumed campaigns
+    see the same sequence.
+    """
+
+    def __init__(self, **axes: Iterable[Any]) -> None:
+        self._axes: Dict[str, Tuple[Any, ...]] = {}
+        for name, values in axes.items():
+            self._merge_axis(Sweep(name, values))
+
+    @classmethod
+    def of(cls, *sweeps: Sweep) -> "Grid":
+        """A grid from explicit Sweep objects."""
+        grid = cls()
+        for sweep in sweeps:
+            grid._merge_axis(sweep)
+        return grid
+
+    def _merge_axis(self, sweep: Sweep) -> None:
+        if sweep.name in self._axes:
+            raise ValueError(f"duplicate sweep axis {sweep.name!r}")
+        self._axes[sweep.name] = sweep.values
+
+    # ------------------------------------------------------------------ #
+    def __mul__(self, other: Union[Sweep, "Grid"]) -> "Grid":
+        merged = Grid()
+        for name, values in self._axes.items():
+            merged._merge_axis(Sweep(name, values))
+        if isinstance(other, Sweep):
+            merged._merge_axis(other)
+        elif isinstance(other, Grid):
+            for name, values in other._axes.items():
+                merged._merge_axis(Sweep(name, values))
+        else:
+            return NotImplemented
+        return merged
+
+    @property
+    def axes(self) -> Mapping[str, Tuple[Any, ...]]:
+        """The axis mapping (name -> values), in declaration order."""
+        return dict(self._axes)
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self._axes.values():
+            n *= len(values)
+        return n
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every coordinate of the grid as a {field: value} dict."""
+        names = list(self._axes)
+        combos = itertools.product(*(self._axes[n] for n in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def configs(self, base: ConfigBase) -> List[TrainingConfig]:
+        """One TrainingConfig per point, built from ``base``."""
+        if callable(base):
+            return [base(**point) for point in self.points()]
+        return [base.with_overrides(**point) for point in self.points()]
+
+    def specs(
+        self,
+        base: ConfigBase,
+        backend: str = "sim",
+        backend_options: Mapping[str, Any] = (),
+        tags: Sequence[str] = (),
+    ) -> List[ExperimentSpec]:
+        """One ExperimentSpec per point — the input to a Campaign."""
+        return [
+            ExperimentSpec(
+                config=config,
+                backend=backend,
+                backend_options=dict(backend_options),
+                tags=tuple(tags),
+            )
+            for config in self.configs(base)
+        ]
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{n}={list(v)!r}" for n, v in self._axes.items())
+        return f"Grid({axes})"

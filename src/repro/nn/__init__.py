@@ -38,6 +38,7 @@ from repro.nn.resnet import (
 )
 from repro.nn.gru import GRU, GRUCell
 from repro.nn.regularization import Dropout, LayerNorm
+from repro.nn.registry import MODELS, build_model, model_names, register_model
 from repro.nn.rnn import LSTM, LSTMCell
 from repro.nn import init
 
@@ -79,5 +80,9 @@ __all__ = [
     "resnet18",
     "resnet50",
     "resnet_tiny",
+    "MODELS",
+    "build_model",
+    "model_names",
+    "register_model",
     "init",
 ]

@@ -20,12 +20,13 @@ a string::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Tuple
 
 from repro.core.config import TrainingConfig
 from repro.core.metrics import RunResult
 from repro.runtime.session import ExperimentPlan
 from repro.runtime.thread_backend import ThreadBackend
+from repro.utils.registry import Registry
 
 
 class ExecutionBackend:
@@ -56,19 +57,23 @@ class SimBackend(ExecutionBackend):
         return DistributedTrainer(plan.config, plan=plan).run()
 
 
-_REGISTRY: Dict[str, Callable[..., ExecutionBackend]] = {}
+BACKENDS: Registry = Registry("backend")
 
 
-def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
-    """Register a backend factory under ``name`` (overwrites quietly)."""
-    if not name:
-        raise ValueError("backend name must be non-empty")
-    _REGISTRY[name] = factory
+def register_backend(
+    name: str, factory: Callable[..., ExecutionBackend], override: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Duplicate names raise unless ``override=True`` — silently replacing
+    ``"sim"`` would change what every stored result key means.
+    """
+    BACKENDS.register(name, factory, override=override)
 
 
 def available_backends() -> Tuple[str, ...]:
     """Registered backend names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return BACKENDS.names()
 
 
 def get_backend(name: str, **options) -> ExecutionBackend:
@@ -77,13 +82,7 @@ def get_backend(name: str, **options) -> ExecutionBackend:
     ``options`` are forwarded to the factory (e.g. ``deterministic=True``
     for the thread backend).
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
-        ) from None
-    return factory(**options)
+    return BACKENDS.get(name)(**options)
 
 
 def run_experiment(

@@ -31,8 +31,8 @@ running statistics — synchronizes on that worker's ``model_lock``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,11 +48,10 @@ from repro.core.server import ParameterServer
 from repro.core.worker import DistributedWorker
 from repro.data.dataset import ArrayDataset
 from repro.data.loader import DataLoader
-from repro.data.synthetic import SyntheticCIFAR10, SyntheticImageNet, make_spirals
-from repro.nn.mlp import MLP
+from repro.data.registry import build_dataset
 from repro.nn.module import Module, get_flat_params, set_flat_params
 from repro.nn.norm import bn_layers, load_bn_running_stats
-from repro.nn.resnet import resnet18, resnet50, resnet_tiny
+from repro.nn.registry import build_model
 from repro.optim.lr_scheduler import MultiStepLR
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngTree
@@ -66,48 +65,9 @@ REQUEST_BYTES = 256
 STATE_OVERHEAD_BYTES = 1024
 
 
-def build_dataset(config: TrainingConfig) -> Tuple[ArrayDataset, ArrayDataset, int]:
-    """Return (train, test, num_classes) for the configured dataset."""
-    kwargs = dict(config.dataset_kwargs)
-    kwargs.setdefault("seed", config.seed)
-    if config.dataset == "cifar":
-        bundle = SyntheticCIFAR10(**kwargs)
-        return bundle.train, bundle.test, SyntheticCIFAR10.num_classes
-    if config.dataset == "imagenet":
-        bundle = SyntheticImageNet(**kwargs)
-        return bundle.train, bundle.test, SyntheticImageNet.num_classes
-    if config.dataset == "spirals":
-        kwargs.setdefault("num_samples", 600)
-        num_classes = kwargs.pop("num_classes", 3)
-        test_size = kwargs.pop("test_size", max(1, kwargs["num_samples"] // 5))
-        full = make_spirals(num_classes=num_classes, **kwargs)
-        train = full.subset(np.arange(len(full) - test_size))
-        test = full.subset(np.arange(len(full) - test_size, len(full)))
-        return train, test, num_classes
-    raise ValueError(f"unknown dataset {config.dataset!r}")
-
-
-def build_model(config: TrainingConfig, input_shape: Tuple[int, ...], num_classes: int) -> Module:
-    """Build one model replica with init seeded by ``config.seed``.
-
-    Every call returns an identically initialized model (fresh RngTree from
-    the same seed), which is how all replicas and the server start from
-    "the same randomly initialized model" (Section 5).
-    """
-    rng = RngTree(config.seed).child("model-init").generator("weights")
-    kwargs = dict(config.model_kwargs)
-    if config.model == "mlp":
-        input_dim = int(np.prod(input_shape))
-        hidden = tuple(kwargs.pop("hidden", (64,)))
-        batch_norm = kwargs.pop("batch_norm", True)
-        if kwargs:
-            raise ValueError(f"unknown mlp kwargs {sorted(kwargs)}")
-        return MLP((input_dim, *hidden, num_classes), batch_norm=batch_norm, rng=rng)
-    if config.model in ("resnet18", "resnet50", "resnet_tiny"):
-        factory = {"resnet18": resnet18, "resnet50": resnet50, "resnet_tiny": resnet_tiny}[config.model]
-        in_channels = input_shape[0] if len(input_shape) == 3 else 3
-        return factory(num_classes=num_classes, in_channels=in_channels, rng=rng, **kwargs)
-    raise ValueError(f"unknown model {config.model!r}")
+# ``build_dataset`` / ``build_model`` used to live here as if/elif chains;
+# they are now the name-keyed registries of repro.data.registry and
+# repro.nn.registry, imported above and re-exported for existing callers.
 
 
 @dataclass
@@ -133,6 +93,12 @@ class ExperimentPlan:
     total_updates: int
     model_bytes: int
     state_bytes: int
+    #: optional observer called with each CurvePoint as it is recorded —
+    #: how the campaign layer streams progress without owning the backend.
+    #: Called from whichever thread drives the server; keep it cheap.
+    on_curve_point: Optional[Callable[[CurvePoint], None]] = field(
+        default=None, compare=False
+    )
 
     @classmethod
     def from_config(cls, config: TrainingConfig) -> "ExperimentPlan":
@@ -339,7 +305,7 @@ class ExperimentSession:
             self._last_eval_epoch = completed_epoch
             return
         point = self.evaluate(now)
-        self.curve.append(point)
+        self._record_point(point)
         self._last_eval_epoch = completed_epoch
         logger.info(
             "algo=%s M=%d epoch=%d t=%.1fs train_err=%.4f test_err=%.4f",
@@ -354,7 +320,13 @@ class ExperimentSession:
     def ensure_final_eval(self, now: float) -> None:
         """Guarantee at least one curve point (degenerate short runs)."""
         if not self.curve:
-            self.curve.append(self.evaluate(now))
+            self._record_point(self.evaluate(now))
+
+    def _record_point(self, point: CurvePoint) -> None:
+        """Append to the curve and notify the plan's observer, if any."""
+        self.curve.append(point)
+        if self.plan.on_curve_point is not None:
+            self.plan.on_curve_point(point)
 
     # ------------------------------------------------------------------ #
     def build_result(self, clock: float, backend: str = "sim", wall_time: float = 0.0) -> RunResult:

@@ -1,0 +1,66 @@
+"""A small name-keyed factory registry, shared by every pluggable layer.
+
+The repo grows by registration, not by editing ``if/elif`` chains: execution
+backends (:mod:`repro.runtime.backends`), datasets
+(:mod:`repro.data.registry`) and models (:mod:`repro.nn.registry`) all keep
+a :class:`Registry` so new components plug in from user code::
+
+    from repro.data.registry import register_dataset
+    register_dataset("my-task", build_my_task)
+
+Duplicate names raise by design — a silent overwrite of, say, ``"cifar"``
+would corrupt every content-addressed result key that names it.  Pass
+``override=True`` to replace an entry deliberately (tests, experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Ordered name -> factory mapping with guarded registration."""
+
+    def __init__(self, kind: str) -> None:
+        #: what the entries are, for error messages ("backend", "dataset", ...)
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, factory: T, override: bool = False) -> T:
+        """File ``factory`` under ``name``; raise on duplicates unless ``override``."""
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if name in self._entries and not override:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass override=True to replace it"
+            )
+        self._entries[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (primarily for test cleanup); missing names raise."""
+        if name not in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is not registered")
+        del self._entries[name]
+
+    def get(self, name: str) -> T:
+        """The factory registered under ``name``; error lists what exists."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -15,10 +15,28 @@ def test_algorithm_validation():
         TrainingConfig(algorithm="bogus")
 
 
-def test_sgd_requires_single_worker():
-    with pytest.raises(ValueError, match="exactly one worker"):
-        TrainingConfig(algorithm="sgd", num_workers=4)
-    TrainingConfig(algorithm="sgd", num_workers=1)  # ok
+def test_sgd_normalizes_to_single_worker():
+    # the rule lives in __post_init__ alone; callers no longer repeat it
+    assert TrainingConfig(algorithm="sgd", num_workers=4).num_workers == 1
+    assert TrainingConfig(algorithm="sgd", num_workers=1).num_workers == 1
+    assert TrainingConfig.tiny(algorithm="sgd", num_workers=8).num_workers == 1
+
+
+def test_to_dict_is_json_ready():
+    import json
+
+    payload = TrainingConfig.tiny().to_dict()
+    assert payload["predictor"]["loss_hidden"] == 8
+    assert payload["cluster"]["mean_batch_time"] > 0
+    assert payload["lr_milestones"] == []  # tuple -> list
+    round_trip = json.loads(json.dumps(payload, sort_keys=True))
+    assert round_trip == json.loads(json.dumps(payload, sort_keys=True))
+
+
+def test_spirals_preset_constructs():
+    cfg = TrainingConfig.spirals(algorithm="asgd", num_workers=2)
+    assert cfg.dataset == "spirals"
+    assert cfg.model == "mlp"
 
 
 def test_bn_mode_validation():
@@ -70,6 +88,7 @@ def test_cluster_config_validation():
         TrainingConfig.paper_cifar10,
         TrainingConfig.paper_imagenet,
         TrainingConfig.tiny,
+        TrainingConfig.spirals,
     ],
 )
 @pytest.mark.parametrize("algorithm", ["sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd"])

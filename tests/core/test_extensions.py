@@ -96,7 +96,9 @@ class TestCLI:
         from repro.cli import _make_config
         import argparse
 
-        ns = argparse.Namespace(workers=4, dataset="cifar", epochs=6, seed=1, json=None)
+        ns = argparse.Namespace(
+            workers=4, preset="cifar", model=None, epochs=6, seed=1, json=None
+        )
         cfg = _make_config(ns, "lc-asgd")
         assert cfg.epochs == 6
         assert cfg.lr_milestones == (3, 4)

@@ -1,0 +1,87 @@
+"""CLI smoke tests for the new sweep/report subcommands."""
+
+import json
+
+from repro.cli import main as cli_main
+
+
+def test_sweep_smoke_on_tiny(tmp_path, capsys):
+    store_dir = tmp_path / "out"
+    code = cli_main([
+        "sweep", "--preset", "tiny", "--algorithms", "sgd,asgd",
+        "--workers", "2,4", "--seeds", "2", "--epochs", "1",
+        "--seed", "0", "--json", str(store_dir),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "campaign:" in out
+    assert "store:" in out
+
+    # one JSON per run, keyed by spec hash; sgd deduped across worker counts
+    records = sorted(store_dir.glob("*.json"))
+    assert len(records) == 6  # 2 sgd (M collapses to 1) + 4 asgd
+    payload = json.loads(records[0].read_text())
+    assert payload["spec"]["key"] == records[0].stem
+    assert "result" in payload
+
+
+def test_sweep_resumes_from_store(tmp_path, capsys):
+    store_dir = str(tmp_path / "out")
+    argv = [
+        "sweep", "--preset", "tiny", "--algorithms", "asgd",
+        "--workers", "2", "--seeds", "2", "--epochs", "1", "--json", store_dir,
+    ]
+    assert cli_main(argv) == 0
+    first = capsys.readouterr().out
+    assert "running" in first
+
+    assert cli_main(argv) == 0
+    second = capsys.readouterr().out
+    assert "running" not in second  # everything cached
+    assert "cached" in second
+
+
+def test_report_reads_store(tmp_path, capsys):
+    store_dir = str(tmp_path / "out")
+    cli_main([
+        "sweep", "--preset", "tiny", "--algorithms", "asgd",
+        "--workers", "2", "--seeds", "1", "--epochs", "1", "--json", store_dir,
+    ])
+    capsys.readouterr()
+
+    rows_path = tmp_path / "rows.json"
+    assert cli_main(["report", store_dir, "--json", str(rows_path)]) == 0
+    out = capsys.readouterr().out
+    assert "algorithm" in out and "asgd" in out
+    rows = json.loads(rows_path.read_text())
+    assert rows[0]["algorithm"] == "asgd"
+    assert rows[0]["num_workers"] == 2
+
+
+def test_sweep_rejects_unknown_algorithm(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit, match="bogus"):
+        cli_main(["sweep", "--algorithms", "bogus", "--workers", "2"])
+
+
+def test_info_emits_nested_json(capsys):
+    assert cli_main(["info", "--algorithm", "lc-asgd", "--workers", "2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # nested dataclasses serialize as real objects, not Python reprs
+    assert isinstance(payload["predictor"], dict)
+    assert isinstance(payload["cluster"], dict)
+    assert payload["predictor"]["loss_variant"] == "lstm"
+    assert payload["cluster"]["mean_batch_time"] > 0
+
+
+def test_run_spirals_preset(tmp_path, capsys):
+    out = tmp_path / "r.json"
+    code = cli_main([
+        "run", "--preset", "spirals", "--algorithm", "asgd", "--workers", "2",
+        "--epochs", "1", "--json", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["algorithm"] == "asgd"
+    assert 0.0 <= payload["final_test_error"] <= 1.0

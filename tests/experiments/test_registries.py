@@ -1,0 +1,107 @@
+"""Dataset/model registries: guarded registration and named scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.data.registry import DATASETS, build_dataset, dataset_names, register_dataset
+from repro.nn.registry import MODELS, build_model, model_names, register_model
+from repro.utils.registry import Registry
+
+
+class TestGenericRegistry:
+    def test_register_get_names(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        reg.register("b", 2)
+        assert reg.names() == ("a", "b")
+        assert reg.get("a") == 1
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+
+    def test_duplicate_raises_unless_override(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("a", 2)
+        reg.register("a", 2, override=True)
+        assert reg.get("a") == 2
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Registry("thing").register("", 1)
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        with pytest.raises(ValueError, match="unknown thing 'x'.*a"):
+            reg.get("x")
+
+    def test_unregister(self):
+        reg = Registry("thing")
+        reg.register("a", 1)
+        reg.unregister("a")
+        assert "a" not in reg
+        with pytest.raises(ValueError, match="not registered"):
+            reg.unregister("a")
+
+
+class TestDatasetRegistry:
+    def test_builtin_names(self):
+        assert set(dataset_names()) >= {"cifar", "imagenet", "spirals"}
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_dataset("cifar", DATASETS.get("cifar"))
+        # deliberate override restores the same builder
+        register_dataset("cifar", DATASETS.get("cifar"), override=True)
+
+    def test_spirals_is_a_named_scenario(self):
+        cfg = TrainingConfig.spirals(algorithm="asgd", num_workers=2)
+        train, test, num_classes = build_dataset(cfg)
+        assert train.input_shape == (2,)
+        assert num_classes == 3
+        assert len(train) > 0 and len(test) > 0
+
+    def test_custom_dataset_plugs_in(self):
+        def build_custom(config):
+            return build_dataset(config.with_overrides(dataset="spirals"))
+
+        register_dataset("custom-spirals", build_custom)
+        try:
+            cfg = TrainingConfig.spirals(num_workers=2).with_overrides(
+                dataset="custom-spirals"
+            )
+            train, _, _ = build_dataset(cfg)
+            assert len(train) > 0
+        finally:
+            DATASETS.unregister("custom-spirals")
+
+
+class TestModelRegistry:
+    def test_builtin_names(self):
+        assert set(model_names()) >= {"mlp", "resnet18", "resnet50", "resnet_tiny"}
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model("mlp", MODELS.get("mlp"))
+
+    def test_resnet_tiny_is_a_named_scenario(self):
+        cfg = TrainingConfig.tiny(model="resnet_tiny", model_kwargs={})
+        model = build_model(cfg, input_shape=(3, 6, 6), num_classes=10)
+        logits = model(_as_tensor(np.zeros((2, 3, 6, 6), dtype=np.float32)))
+        assert logits.data.shape == (2, 10)
+
+    def test_same_config_builds_identical_replicas(self):
+        from repro.nn.module import get_flat_params
+
+        cfg = TrainingConfig.tiny()
+        a = build_model(cfg, (3, 6, 6), 10)
+        b = build_model(cfg, (3, 6, 6), 10)
+        np.testing.assert_array_equal(get_flat_params(a), get_flat_params(b))
+
+
+def _as_tensor(arr):
+    from repro.tensor.tensor import Tensor
+
+    return Tensor(arr)

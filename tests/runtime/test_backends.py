@@ -15,7 +15,7 @@ from repro.runtime import (
     register_backend,
     run_experiment,
 )
-from repro.runtime.backends import _REGISTRY
+from repro.runtime.backends import BACKENDS
 
 
 class TestRegistry:
@@ -50,11 +50,18 @@ class TestRegistry:
             result = run_experiment(TrainingConfig.tiny(max_updates=1), backend="null")
             assert result.backend == "null"
         finally:
-            del _REGISTRY["null"]
+            BACKENDS.unregister("null")
 
     def test_register_rejects_empty_name(self):
         with pytest.raises(ValueError, match="non-empty"):
             register_backend("", SimBackend)
+
+    def test_register_rejects_duplicates_unless_override(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("sim", SimBackend)
+        # explicit override is allowed (and restores the same factory here)
+        register_backend("sim", SimBackend, override=True)
+        assert isinstance(get_backend("sim"), SimBackend)
 
     def test_abstract_backend_run_raises(self):
         with pytest.raises(NotImplementedError):
