@@ -1,12 +1,15 @@
-"""Backend throughput: updates/sec of the sim vs thread runtimes.
+"""Backend throughput: updates/sec of the sim vs thread vs proc runtimes.
 
 Not a paper artifact — this is the repo's own execution-layer benchmark.
-Both backends process the *same* fixed number of gradient updates from the
+Every backend processes the *same* fixed number of gradient updates from the
 same ExperimentPlan specification; throughput is updates divided by real
 wall seconds (for the simulator that is the cost of running the event loop
 plus the math; for the thread runtime it includes real queueing and
-scheduling).  The table also reports the mean observed staleness, which is
-simulated in one column and genuine thread interleaving in the other.
+scheduling; for the proc runtime it additionally includes spawning real
+worker processes and moving every message through loopback sockets).  The
+table also reports the mean observed staleness — simulated for ``sim``,
+genuine thread interleaving for ``thread``, and genuine cross-process
+racing for ``proc``.
 """
 
 import time
@@ -16,7 +19,7 @@ from repro.bench.workloads import throughput_workload
 from repro.runtime import run_experiment
 
 ALGOS = ("asgd", "lc-asgd")
-BACKENDS = ("sim", "thread")
+BACKENDS = ("sim", "thread", "proc")
 
 
 def _measure(algorithm: str, backend: str):
@@ -62,5 +65,6 @@ def test_backend_throughput(benchmark):
             assert result.total_updates == throughput_workload(algo).max_updates
             assert ups > 0
             assert result.backend == backend
-    # the thread runtime must exhibit genuine (nonzero) async staleness
+    # the concurrent runtimes must exhibit genuine (nonzero) async staleness
     assert results[("asgd", "thread")][0].staleness["mean"] > 0
+    assert results[("asgd", "proc")][0].staleness["mean"] > 0

@@ -16,8 +16,9 @@ contains no training loops.
 * ``info`` — dump the resolved configuration as nested JSON.
 
 ``--backend`` selects the execution runtime: ``sim`` (deterministic
-virtual-time event loop, the default) or ``thread`` (real concurrent
-parameter server; wall-clock time and staleness are genuine).
+virtual-time event loop, the default), ``thread`` (real concurrent
+parameter server; wall-clock time and staleness are genuine) or ``proc``
+(real OS-process workers over sockets; no shared GIL).
 """
 
 from __future__ import annotations
@@ -111,7 +112,7 @@ def _make_spec(
 def _print_summary(result) -> None:
     clock = (
         f"real {result.wall_time:.1f}s wall-clock"
-        if result.backend == "thread"
+        if result.backend in ("thread", "proc")
         else f"virtual {result.total_virtual_time:.1f}s"
     )
     print(f"final test error: {result.final_test_error:.2%} "
@@ -144,7 +145,8 @@ def _add_common(parser: argparse.ArgumentParser, multi_worker: bool = False) -> 
         "--backend",
         choices=list(available_backends()),
         default="sim",
-        help="execution runtime: sim (virtual time) or thread (real concurrency)",
+        help="execution runtime: sim (virtual time), thread (real threads) "
+             "or proc (real worker processes over sockets)",
     )
     parser.add_argument(
         "--deterministic",
@@ -167,7 +169,8 @@ def _check_jobs(args: argparse.Namespace) -> None:
     if args.jobs > 1 and args.backend != "sim":
         raise SystemExit(
             "--jobs > 1 parallelizes across processes and only supports the sim "
-            "backend; the thread backend already uses every core for its workers"
+            "backend; the thread and proc backends already use every core for "
+            "their own workers"
         )
 
 
@@ -237,6 +240,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "report":
         return _cmd_report(args)
+    if args.deterministic and args.backend != "thread":
+        raise SystemExit(
+            "--deterministic is a thread-backend option (sim is always "
+            "deterministic; proc workers are real processes and race)"
+        )
     _resolve_preset(args)
     if args.command == "info":
         return _cmd_info(args)

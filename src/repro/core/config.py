@@ -8,7 +8,7 @@ noted) so benches and examples stay declarative.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 ALGORITHMS = ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd", "sa-asgd")
@@ -159,6 +159,30 @@ class TrainingConfig:
             return value
 
         return convert(asdict(self))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TrainingConfig":
+        """Exact inverse of :meth:`to_dict`.
+
+        This is how a config crosses process boundaries (the proc backend
+        hands each worker child its config as JSON) and how stored specs
+        could be rehydrated: nested dataclasses are rebuilt and
+        list-encoded tuples restored, so ``from_dict(c.to_dict()) == c``.
+        Unknown keys raise — a silently-dropped field would let two
+        processes disagree about the experiment they are running.
+        """
+        data = dict(payload)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown TrainingConfig field(s): {', '.join(unknown)}")
+        if isinstance(data.get("predictor"), dict):
+            data["predictor"] = PredictorConfig(**data["predictor"])
+        if isinstance(data.get("cluster"), dict):
+            data["cluster"] = ClusterConfig(**data["cluster"])
+        if "lr_milestones" in data and data["lr_milestones"] is not None:
+            data["lr_milestones"] = tuple(data["lr_milestones"])
+        return cls(**data)
 
     # ------------------------------------------------------------------ #
     # named experiment presets

@@ -9,8 +9,9 @@ Two strategies behind one protocol:
   backend is single-threaded pure NumPy, so a compare-style grid
   parallelizes embarrassingly across processes: a genuine wall-clock
   speedup (see ``benchmarks/bench_campaign_executors.py``).  Restricted to
-  the ``sim`` backend — the thread backend already saturates cores with
-  its own worker threads, and forking a threaded runtime is unsound.
+  the ``sim`` backend — the thread and proc backends already saturate
+  cores with their own workers, and forking a threaded runtime is unsound;
+  their grids stay on :class:`SerialExecutor`.
 
 Executors receive ``(index, spec)`` jobs (indices are campaign-global so
 progress lines count cached runs too) and *yield* ``(index, spec, result)``
@@ -23,7 +24,9 @@ Campaign, so a pool worker never touches the store.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Iterator, Sequence, Tuple
+import time
+from collections import deque
+from typing import Dict, Iterator, Sequence, Tuple
 
 from repro.core.metrics import RunResult
 from repro.experiments.events import CampaignEvents
@@ -42,9 +45,12 @@ def execute_spec(spec: ExperimentSpec, on_curve_point=None) -> RunResult:
     ``on_curve_point`` (in-process callers only) receives each CurvePoint
     as it is recorded.
     """
-    plan = ExperimentPlan.from_config(spec.config)
+    backend = get_backend(spec.backend, **spec.backend_options)
+    plan = ExperimentPlan.from_config(
+        spec.config, build_workers=getattr(backend, "needs_worker_replicas", True)
+    )
     plan.on_curve_point = on_curve_point
-    return get_backend(spec.backend, **spec.backend_options).run(plan)
+    return backend.run(plan)
 
 
 def _execute_job(job: Job) -> Tuple[int, RunResult]:
@@ -110,7 +116,7 @@ class MultiprocessExecutor(Executor):
                 raise ValueError(
                     f"MultiprocessExecutor only runs the 'sim' backend; "
                     f"{spec.label()} requests {spec.backend!r} "
-                    f"(use SerialExecutor for thread-backend grids)"
+                    f"(use SerialExecutor for thread/proc-backend grids)"
                 )
         return self._stream(list(jobs), total, events)
 
@@ -121,15 +127,31 @@ class MultiprocessExecutor(Executor):
             return
         procs = self.processes or (mp.cpu_count() or 1)
         procs = max(1, min(procs, len(jobs)))
-        for index, spec in jobs:
-            events.on_run_start(spec, index, total)
-        specs = {index: spec for index, spec in jobs}
         ctx = self._context()
+        # Jobs are submitted one per free pool slot and on_run_start fires
+        # at submission, so a start line means the run is actually beginning
+        # — not "every cell started at t=0" as the old bulk submit claimed.
+        # Completed runs are yielded (and persisted by the Campaign) the
+        # moment they land, never behind a slower earlier job.
         with ctx.Pool(processes=procs) as pool:
-            # unordered so each finished run is yielded (and persisted by
-            # the Campaign) immediately, not behind a slower earlier job
-            for index, result in pool.imap_unordered(_execute_job, list(jobs)):
-                yield index, specs[index], result
+            pending = deque(jobs)
+            inflight: Dict[int, Tuple[ExperimentSpec, "mp.pool.AsyncResult"]] = {}
+            while pending or inflight:
+                while pending and len(inflight) < procs:
+                    index, spec = pending.popleft()
+                    events.on_run_start(spec, index, total)
+                    inflight[index] = (
+                        spec,
+                        pool.apply_async(_execute_job, ((index, spec),)),
+                    )
+                done = [i for i, (_, handle) in inflight.items() if handle.ready()]
+                if not done:
+                    time.sleep(0.01)
+                    continue
+                for i in sorted(done):
+                    spec, handle = inflight.pop(i)
+                    index, result = handle.get()  # re-raises a job's failure
+                    yield index, spec, result
 
 
 def make_executor(jobs: int = 1) -> Executor:

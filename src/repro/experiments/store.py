@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -31,6 +32,10 @@ from repro.experiments.spec import ExperimentSpec
 
 #: schema version stamped into every record
 STORE_VERSION = 1
+
+#: a ``*.tmp`` file older than this is an orphan from a killed writer; a
+#: younger one may be a concurrent writer mid-``put`` and must be left alone
+STALE_TMP_SECONDS = 600.0
 
 
 def _to_builtin(value: Any) -> Any:
@@ -57,6 +62,18 @@ class ResultStore:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # a SIGKILL between mkstemp and os.replace strands a *.tmp file;
+        # they are incomplete by construction, so sweep them on open (only
+        # completed records ever carry the .json suffix).  The age gate
+        # protects a live writer: its temp file exists for milliseconds,
+        # never STALE_TMP_SECONDS.
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for orphan in self.root.glob("*.tmp"):
+            try:
+                if orphan.stat().st_mtime < cutoff:
+                    orphan.unlink()
+            except OSError:
+                pass  # racing store instance already collected it
 
     # ------------------------------------------------------------------ #
     def path_for(self, spec_or_key: Union[ExperimentSpec, str]) -> Path:
@@ -167,6 +184,12 @@ def summarize_results(
     """
     if scenarios is None:
         scenarios = [""] * len(results)
+    elif len(scenarios) != len(results):
+        # zip would silently truncate and misattribute runs to rows
+        raise ValueError(
+            f"scenarios ({len(scenarios)}) and results ({len(results)}) must "
+            f"be parallel sequences"
+        )
     cells: Dict[Tuple[str, str, int, str], List[RunResult]] = {}
     for result, scenario in zip(results, scenarios):
         cells.setdefault(

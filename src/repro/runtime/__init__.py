@@ -14,8 +14,15 @@ ways from one experiment specification:
   actor thread plus N worker threads with real wall-clock staleness, an
   optional deterministic round-robin mode, and emulated link/compute
   delays.
-* :mod:`repro.runtime.messages` / :mod:`repro.runtime.transport` — the
-  typed envelopes and the in-process delay-injecting message fabric.
+* :mod:`repro.runtime.proc_backend` / :mod:`repro.runtime.proc_worker` —
+  :class:`ProcBackend`: the same server actor, but every worker is a real
+  OS process speaking the :mod:`repro.runtime.wire` protocol over a
+  loopback socket — genuinely independent compute, no shared GIL.
+* :mod:`repro.runtime.messages` / :mod:`repro.runtime.transport` /
+  :mod:`repro.runtime.wire` — the typed envelopes, the in-process
+  delay-injecting message fabric, and the socket framing/codec layer.
+* :mod:`repro.runtime.server_actor` — the Algorithm-2 dispatch loop both
+  concurrent backends share.
 
 Quickstart::
 
@@ -35,9 +42,12 @@ from repro.runtime.backends import (
     register_backend,
     run_experiment,
 )
+from repro.runtime.proc_backend import ProcBackend, SocketTransport
+from repro.runtime.server_actor import RunControl, server_actor_loop
 from repro.runtime.session import (
     ExperimentPlan,
     ExperimentSession,
+    WorkerRuntime,
     build_dataset,
     build_model,
 )
@@ -48,9 +58,14 @@ __all__ = [
     "ExecutionBackend",
     "SimBackend",
     "ThreadBackend",
+    "ProcBackend",
+    "SocketTransport",
     "RoundRobinTurnstile",
+    "RunControl",
+    "server_actor_loop",
     "ExperimentPlan",
     "ExperimentSession",
+    "WorkerRuntime",
     "InProcTransport",
     "Mailbox",
     "available_backends",

@@ -10,6 +10,9 @@ completely different schedulers:
 * ``thread`` — the real concurrent runtime
   (:class:`~repro.runtime.thread_backend.ThreadBackend`); staleness comes
   from genuine thread interleaving and the clock is the wall clock.
+* ``proc`` — real OS-process workers over sockets
+  (:class:`~repro.runtime.proc_backend.ProcBackend`); no shared GIL, so
+  compute overlaps genuinely and communication crosses real kernel queues.
 
 Backends register by name so callers (CLI, benches, tests) select one with
 a string::
@@ -24,6 +27,7 @@ from typing import Callable, Tuple
 
 from repro.core.config import TrainingConfig
 from repro.core.metrics import RunResult
+from repro.runtime.proc_backend import ProcBackend
 from repro.runtime.session import ExperimentPlan
 from repro.runtime.thread_backend import ThreadBackend
 from repro.utils.registry import Registry
@@ -34,6 +38,10 @@ class ExecutionBackend:
 
     #: registry key; subclasses override
     name = "abstract"
+
+    #: False for backends whose workers rebuild their replicas in another
+    #: process (proc): plan builders then skip the M in-process replicas
+    needs_worker_replicas = True
 
     def run(self, plan: ExperimentPlan) -> RunResult:
         """Execute ``plan`` to completion (mutating it) and build the result."""
@@ -89,9 +97,13 @@ def run_experiment(
     config: TrainingConfig, backend: str = "sim", **backend_options
 ) -> RunResult:
     """Build a fresh plan from ``config`` and execute it on ``backend``."""
-    plan = ExperimentPlan.from_config(config)
-    return get_backend(backend, **backend_options).run(plan)
+    executor = get_backend(backend, **backend_options)
+    plan = ExperimentPlan.from_config(
+        config, build_workers=getattr(executor, "needs_worker_replicas", True)
+    )
+    return executor.run(plan)
 
 
 register_backend("sim", SimBackend)
 register_backend("thread", ThreadBackend)
+register_backend("proc", ProcBackend)

@@ -28,6 +28,11 @@ class Message:
 
     worker: int
 
+    #: control messages cancel pending delivery deadlines in a Mailbox:
+    #: once the run is over, nobody should wait out an emulated link delay
+    #: just to learn about it (class attribute, not a wire field)
+    expedite = False
+
 
 @dataclass(frozen=True)
 class PullRequest(Message):
@@ -79,3 +84,4 @@ class Shutdown(Message):
     """Either direction: unblock the receiver and end its loop."""
 
     worker: int = -1
+    expedite = True

@@ -1,0 +1,440 @@
+"""Process execution backend: real OS-process workers over sockets.
+
+The parameter server runs in the parent exactly as in the thread backend
+(the shared :func:`~repro.runtime.server_actor.server_actor_loop` drives
+Algorithm 2 from one actor thread); each of the ``M`` workers is a real
+child process (:mod:`repro.runtime.proc_worker`) connected over a loopback
+TCP socket speaking the :mod:`repro.runtime.wire` protocol.  Unlike the
+thread backend there is no shared GIL: staleness and wall-clock numbers
+come from genuinely independent compute plus real kernel socket queues.
+
+Startup handshake (all control frames, see ``wire.py``)::
+
+    child  -> parent   {"hello": worker_id, "token": ...}
+    parent -> child    {"config": TrainingConfig.to_dict(), options...}
+    child  -> parent   {"ready": worker_id}   (or {"error": traceback})
+    parent -> child    {"start": true}
+
+No weights travel at startup: the child rebuilds its replica + loader from
+``(TrainingConfig, worker_id)`` via :class:`~repro.runtime.session.
+WorkerRuntime` — identical initialization is re-derived from the seed, and
+only weights/gradients/BN stats cross the wire afterwards.
+
+Failure containment: a child that dies (crash, OOM-kill, nonzero exit)
+surfaces as a run failure within seconds — its socket EOF and its exit
+code are both watched — and every child is reaped (terminate, then kill)
+before ``run`` returns, so a crashed run can never leave orphan processes
+or a hung parent behind.
+
+Limitation: ``bn_mode="local"`` evaluation borrows worker 0's running BN
+statistics, which live in a child's address space here; configs that need
+it (models with BN layers) are rejected up front — use ``sim``/``thread``
+or a synchronized ``bn_mode``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.network import NetworkModel
+from repro.core.metrics import RunResult
+from repro.nn.norm import bn_layers
+from repro.runtime.messages import Message, Shutdown
+from repro.runtime.server_actor import RunControl, server_actor_loop
+from repro.runtime.session import ExperimentPlan, ExperimentSession
+from repro.runtime.transport import Mailbox
+from repro.runtime.wire import FrameConnection, WireError
+from repro.utils.logging import get_logger
+
+logger = get_logger("runtime.proc")
+
+#: env var carrying the per-run handshake token to children (env, not argv:
+#: command lines are world-readable in ``ps``)
+TOKEN_ENV = "REPRO_PROC_TOKEN"
+
+
+class SocketTransport:
+    """The server-side message fabric over per-worker socket links.
+
+    Exposes the same surface as :class:`~repro.runtime.transport.
+    InProcTransport` — ``server_inbox`` / ``to_server`` / ``to_worker`` /
+    ``wake_all_workers`` — so :func:`server_actor_loop` runs unchanged.
+    The link-delay contract also carries over: worker -> server sends
+    charge the sender's uplink (the child sleeps before writing), and
+    server -> worker messages are stamped with a ``delay`` the child's
+    mailbox sleeps out, so the server actor is never blocked by a slow
+    emulated downlink.
+
+    One reader thread per attached worker drains its socket into
+    ``server_inbox``; an unexpected EOF or garbled frame is reported
+    through ``on_worker_failure`` so the backend can fail the run instead
+    of hanging on a mailbox that will never fill.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        network: Optional[NetworkModel] = None,
+        time_scale: float = 0.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.num_workers = int(num_workers)
+        self.network = network
+        self.time_scale = float(time_scale)
+        self.server_inbox = Mailbox()
+        self._conns: List[Optional[FrameConnection]] = [None] * self.num_workers
+        self._send_locks = [threading.Lock() for _ in range(self.num_workers)]
+        self._readers: List[threading.Thread] = []
+        self._closed = threading.Event()
+        #: called as (worker, exception) when a link dies mid-run
+        self.on_worker_failure: Optional[Callable[[int, Exception], None]] = None
+
+    # ------------------------------------------------------------------ #
+    def attach(self, worker: int, conn: FrameConnection) -> None:
+        """Bind ``worker``'s connection and start draining it."""
+        if self._conns[worker] is not None:
+            raise ValueError(f"worker {worker} already attached")
+        self._conns[worker] = conn
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(worker, conn),
+            name=f"repro-proc-reader-{worker}",
+            daemon=True,
+        )
+        self._readers.append(reader)
+        reader.start()
+
+    def _reader_loop(self, worker: int, conn: FrameConnection) -> None:
+        try:
+            while True:
+                message, _ = conn.recv()
+                if not isinstance(message, Message):
+                    raise WireError(
+                        f"worker {worker} sent a control frame mid-run: {message!r}"
+                    )
+                self.server_inbox.put(message)
+        except Exception as exc:
+            # broad on purpose: any escape (EOF, garbled frame, a decode
+            # KeyError from a version-skewed child) must fail the run fast
+            # rather than silently kill this thread and hang the server
+            # actor until the backend timeout
+            if self._closed.is_set():
+                return  # expected teardown
+            if self.on_worker_failure is not None:
+                self.on_worker_failure(worker, exc)
+
+    # ------------------------------------------------------------------ #
+    def _link_delay(self, worker: int, nbytes: int) -> float:
+        """Real seconds of emulated link occupancy for this message."""
+        if self.network is None or self.time_scale == 0.0 or nbytes <= 0:
+            return 0.0
+        return self.time_scale * self.network.transfer_time(worker, nbytes)
+
+    def to_server(self, worker: int, message: Message, nbytes: int = 0) -> None:
+        """Worker -> server send; the emulated uplink delays the caller.
+
+        On the parent side this is a loopback used by tests and tooling —
+        live worker traffic arrives through the reader threads, with the
+        uplink delay slept in the child (same contract, other process).
+        """
+        delay = self._link_delay(worker, nbytes)
+        if delay > 0:
+            time.sleep(delay)
+        self.server_inbox.put(message)
+
+    def to_worker(self, worker: int, message: Message, nbytes: int = 0) -> None:
+        """Server -> worker send; the delay rides the frame, not the caller."""
+        conn = self._conns[worker]
+        if conn is None:
+            raise RuntimeError(f"worker {worker} is not attached")
+        delay = self._link_delay(worker, nbytes)
+        with self._send_locks[worker]:
+            conn.send_message(message, delay=delay)
+
+    def wake_all_workers(self, message: Message) -> None:
+        """Deliver ``message`` to every live worker; dead links are skipped."""
+        for worker, conn in enumerate(self._conns):
+            if conn is None:
+                continue
+            try:
+                with self._send_locks[worker]:
+                    conn.send_message(message)
+            except (OSError, WireError):
+                pass  # a dying child already surfaced through its reader
+
+    def close(self) -> None:
+        """Tear down every link; reader EOFs after this are expected."""
+        self._closed.set()
+        for conn in self._conns:
+            if conn is not None:
+                conn.close()
+        for reader in self._readers:
+            reader.join(timeout=5.0)
+
+
+class ProcBackend:
+    """Execute an :class:`ExperimentPlan` on real OS-process workers.
+
+    Parameters
+    ----------
+    time_scale:
+        Real seconds of emulated link delay per virtual second of the
+        plan's network model (0 disables link emulation).
+    compute_scale:
+        Real seconds each child sleeps per virtual second of its compute
+        model, emulating heterogeneous/straggling nodes (0 disables).
+    timeout:
+        Hard cap in real seconds on the training phase before the run is
+        declared hung (crashed children fail faster, via EOF/exit-code).
+    startup_timeout:
+        Cap on spawn + import + dataset/replica rebuild + handshake.
+    """
+
+    name = "proc"
+    #: replicas live in the children; plan builders skip the parent's M
+    needs_worker_replicas = False
+
+    def __init__(
+        self,
+        time_scale: float = 0.0,
+        compute_scale: float = 0.0,
+        timeout: float = 600.0,
+        startup_timeout: float = 120.0,
+    ) -> None:
+        if time_scale < 0 or compute_scale < 0:
+            raise ValueError("time_scale and compute_scale must be >= 0")
+        if timeout <= 0 or startup_timeout <= 0:
+            raise ValueError("timeout and startup_timeout must be positive")
+        self.time_scale = float(time_scale)
+        self.compute_scale = float(compute_scale)
+        self.timeout = float(timeout)
+        self.startup_timeout = float(startup_timeout)
+
+    # ------------------------------------------------------------------ #
+    def run(self, plan: ExperimentPlan) -> RunResult:
+        """Run the plan on real worker processes and return its RunResult."""
+        config = plan.config
+        if config.bn_mode == "local" and bn_layers(plan.eval_model):
+            raise ValueError(
+                "proc backend cannot evaluate bn_mode='local': worker 0's "
+                "running BN statistics live in a child process; use the sim "
+                "or thread backend, or a synchronized bn_mode"
+            )
+        session = ExperimentSession(plan)
+        num_workers = config.num_workers
+        transport = SocketTransport(
+            num_workers,
+            network=plan.network if self.time_scale > 0 else None,
+            time_scale=self.time_scale,
+        )
+        ctl = RunControl()
+        procs: List[subprocess.Popen] = []
+        listener: Optional[socket.socket] = None
+        server_thread: Optional[threading.Thread] = None
+        try:
+            listener = socket.create_server(("127.0.0.1", 0))
+            listener.settimeout(0.2)
+            port = listener.getsockname()[1]
+            token = secrets.token_hex(16)
+            procs = self._spawn_children(num_workers, port, token)
+            conns = self._handshake(listener, procs, token, config)
+
+            def worker_link_failed(worker: int, exc: Exception) -> None:
+                if not ctl.done.is_set():
+                    ctl.fail(
+                        RuntimeError(
+                            f"worker child {worker} dropped its connection "
+                            f"before the run finished ({exc})"
+                        )
+                    )
+
+            transport.on_worker_failure = worker_link_failed
+            # start everyone: frames a child sends before its reader attaches
+            # simply buffer in the socket
+            for worker, conn in conns.items():
+                conn.send_control({"start": True})
+            for worker, conn in conns.items():
+                transport.attach(worker, conn)
+
+            ctl.start_clock()
+            server_thread = threading.Thread(
+                target=server_actor_loop,
+                args=(session, transport, ctl),
+                name="repro-proc-server",
+                daemon=True,
+            )
+            server_thread.start()
+
+            self._supervise(ctl, procs)
+
+            transport.wake_all_workers(Shutdown())
+            transport.server_inbox.put(Shutdown())
+            server_thread.join(timeout=30.0)
+            elapsed = ctl.clock()
+            self._reap(procs)
+
+            ctl.raise_if_failed()
+            if server_thread.is_alive():
+                raise RuntimeError("proc backend failed to join its server actor")
+
+            session.ensure_final_eval(elapsed)
+            logger.info(
+                "proc backend finished: algo=%s M=%d updates=%d wall=%.2fs",
+                config.algorithm, num_workers, plan.server.batches_processed, elapsed,
+            )
+            return session.build_result(elapsed, backend=self.name, wall_time=elapsed)
+        finally:
+            transport.close()
+            if listener is not None:
+                listener.close()
+            self._reap(procs, force=True)
+
+    # ------------------------------------------------------------------ #
+    def _spawn_children(
+        self, num_workers: int, port: int, token: str
+    ) -> List[subprocess.Popen]:
+        """Launch one ``python -m repro.runtime.proc_worker`` per worker."""
+        import repro
+
+        env = dict(os.environ)
+        env[TOKEN_ENV] = token
+        # children must import the same repro the parent runs, installed or not
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH", "")
+        if src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+        procs = []
+        for worker in range(num_workers):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.runtime.proc_worker",
+                        "--host", "127.0.0.1",
+                        "--port", str(port),
+                        "--worker-id", str(worker),
+                    ],
+                    env=env,
+                )
+            )
+        return procs
+
+    def _handshake(
+        self,
+        listener: socket.socket,
+        procs: List[subprocess.Popen],
+        token: str,
+        config,
+    ) -> Dict[int, FrameConnection]:
+        """Accept, authenticate, configure and confirm every worker child."""
+        num_workers = len(procs)
+        deadline = time.monotonic() + self.startup_timeout
+        conns: Dict[int, FrameConnection] = {}
+        try:
+            while len(conns) < num_workers:
+                self._check_startup(procs, deadline, phase="connect")
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                sock.settimeout(self.startup_timeout)
+                conn = FrameConnection(sock)
+                hello, _ = conn.recv()
+                if (
+                    not isinstance(hello, dict)
+                    or not secrets.compare_digest(str(hello.get("token", "")), token)
+                    or not isinstance(hello.get("hello"), int)
+                    or not 0 <= hello["hello"] < num_workers
+                    or hello["hello"] in conns
+                ):
+                    logger.warning("rejecting stray connection during handshake")
+                    conn.close()
+                    continue
+                conns[hello["hello"]] = conn
+            doc = {
+                "config": config.to_dict(),
+                "time_scale": self.time_scale,
+                "compute_scale": self.compute_scale,
+            }
+            for worker, conn in conns.items():
+                conn.send_control(doc)
+            for worker, conn in conns.items():
+                self._check_startup(procs, deadline, phase="initialize")
+                ready, _ = conn.recv()
+                if isinstance(ready, dict) and "error" in ready:
+                    raise RuntimeError(
+                        f"worker child {worker} failed to initialize:\n{ready['error']}"
+                    )
+                if not isinstance(ready, dict) or ready.get("ready") != worker:
+                    raise RuntimeError(
+                        f"worker child {worker} broke the handshake: {ready!r}"
+                    )
+                conn.settimeout(None)  # back to blocking for the run
+        except BaseException:
+            for conn in conns.values():
+                conn.close()
+            raise
+        return conns
+
+    def _check_startup(
+        self, procs: List[subprocess.Popen], deadline: float, phase: str
+    ) -> None:
+        if time.monotonic() > deadline:
+            raise RuntimeError(
+                f"proc backend startup ({phase}) exceeded "
+                f"startup_timeout={self.startup_timeout}s"
+            )
+        for worker, proc in enumerate(procs):
+            code = proc.poll()
+            if code is not None:
+                raise RuntimeError(
+                    f"worker child {worker} exited with code {code} during startup"
+                )
+
+    # ------------------------------------------------------------------ #
+    def _supervise(self, ctl: RunControl, procs: List[subprocess.Popen]) -> None:
+        """Wait for completion, watching the clock and every child's pulse."""
+        deadline = time.monotonic() + self.timeout
+        while not ctl.done.wait(timeout=0.1):
+            if time.monotonic() > deadline:
+                ctl.fail(RuntimeError(f"proc backend exceeded timeout={self.timeout}s"))
+                return
+            for worker, proc in enumerate(procs):
+                code = proc.poll()
+                if code is not None and not ctl.done.is_set():
+                    # children only exit after a Shutdown, which is only
+                    # sent once done is set: any earlier exit is a crash
+                    ctl.fail(
+                        RuntimeError(
+                            f"worker child {worker} exited with code {code} "
+                            f"before the run finished"
+                        )
+                    )
+                    return
+
+    def _reap(self, procs: List[subprocess.Popen], force: bool = False) -> None:
+        """Collect every child; escalate to SIGKILL rather than leak one."""
+        for proc in procs:
+            if proc.poll() is not None:
+                continue
+            if force:
+                proc.kill()
+            else:
+                try:
+                    proc.wait(timeout=10.0)
+                    continue
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - kernel refusal
+                logger.error("worker pid %d survived SIGKILL", proc.pid)

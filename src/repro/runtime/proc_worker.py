@@ -1,0 +1,229 @@
+"""Worker child entrypoint for the proc backend.
+
+Run as ``python -m repro.runtime.proc_worker --host H --port P
+--worker-id M`` by :class:`~repro.runtime.proc_backend.ProcBackend` —
+never by hand.  The child:
+
+1. connects to the parent and authenticates with the token from the
+   ``REPRO_PROC_TOKEN`` environment variable;
+2. receives the :class:`~repro.core.config.TrainingConfig` as JSON and
+   rebuilds *its own* replica, loader and timing models from
+   ``(config, worker_id)`` via :class:`~repro.runtime.session.
+   WorkerRuntime` — initialization is re-derived from the seed, so only
+   weights travel over the wire after this point;
+3. runs the paper's cycle — pull -> forward -> state push ->
+   [compensation reply] -> backward -> push — free-running against the
+   parent's server actor, sleeping out emulated uplink (``time_scale``)
+   and compute (``compute_scale``) delays locally;
+4. exits 0 on :class:`~repro.runtime.messages.Shutdown` (or on parent
+   EOF — an orphaned child never lingers), nonzero on any failure.
+
+Fault injection (tests only): ``REPRO_PROC_CRASH_WORKER`` /
+``REPRO_PROC_CRASH_AFTER`` make the named worker die mid-run with
+``os._exit`` after N cycles, exercising the parent's crash detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import List, Optional
+
+from repro.core.config import TrainingConfig
+from repro.runtime.proc_backend import TOKEN_ENV
+from repro.runtime.messages import (
+    CombinedPush,
+    GradientPush,
+    Message,
+    PullRequest,
+    Shutdown,
+    StatePush,
+)
+from repro.runtime.session import REQUEST_BYTES, WorkerRuntime
+from repro.runtime.transport import Mailbox
+from repro.runtime.wire import ConnectionClosed, FrameConnection, WireError
+
+#: exit code for a config/build failure already reported over the socket
+EXIT_INIT_FAILURE = 2
+#: exit code for an injected test crash
+EXIT_CRASH_INJECTED = 3
+
+CRASH_WORKER_ENV = "REPRO_PROC_CRASH_WORKER"
+CRASH_AFTER_ENV = "REPRO_PROC_CRASH_AFTER"
+
+
+class WorkerChannel:
+    """The child's half of the link: a delay-honouring inbox plus sends.
+
+    A reader thread pumps frames into a :class:`~repro.runtime.transport.
+    Mailbox`, converting each frame's ``delay`` stamp into the mailbox's
+    ``not_before`` deadline — the same downlink-emulation contract (and the
+    same Shutdown-expedites-delivery fix) as the in-process transport.
+    Parent EOF is translated into a Shutdown so an orphaned child exits
+    instead of blocking forever.
+    """
+
+    def __init__(
+        self,
+        conn: FrameConnection,
+        worker_id: int,
+        network=None,
+        time_scale: float = 0.0,
+    ) -> None:
+        self._conn = conn
+        self.worker_id = int(worker_id)
+        self.network = network
+        self.time_scale = float(time_scale)
+        self.inbox = Mailbox()
+        self._reader = threading.Thread(
+            target=self._pump, name="repro-proc-channel", daemon=True
+        )
+        self._reader.start()
+
+    def _pump(self) -> None:
+        try:
+            while True:
+                message, delay = self._conn.recv()
+                if not isinstance(message, Message):
+                    continue  # stray control frame: handshake is over, ignore
+                not_before = time.monotonic() + delay if delay > 0 else 0.0
+                self.inbox.put(message, not_before=not_before)
+                if isinstance(message, Shutdown):
+                    return
+        except (ConnectionClosed, WireError, OSError):
+            self.inbox.put(Shutdown())  # parent gone: end the loop, don't hang
+
+    def to_server(self, message: Message, nbytes: int = 0) -> None:
+        """Send to the parent; the emulated uplink delays this child."""
+        if self.network is not None and self.time_scale > 0 and nbytes > 0:
+            time.sleep(self.time_scale * self.network.transfer_time(self.worker_id, nbytes))
+        self._conn.send_message(message)
+
+
+def run_worker(channel: WorkerChannel, runtime: WorkerRuntime, compute_scale: float) -> None:
+    """The paper's cycle, free-running until the server says Shutdown."""
+    m = runtime.worker_id
+    worker = runtime.worker
+    config = runtime.config
+    crash_after = _crash_after(m)
+    start = time.perf_counter()
+    cycles = 0
+    while True:
+        if crash_after is not None and cycles >= crash_after:
+            os._exit(EXIT_CRASH_INJECTED)  # simulate a SIGKILLed/crashed node
+        channel.to_server(
+            PullRequest(m, sent_at=time.perf_counter() - start), nbytes=REQUEST_BYTES
+        )
+        msg = channel.inbox.get()
+        if isinstance(msg, Shutdown):
+            return
+        # virtual durations drive emulation sleeps only; features are real
+        dur_fwd = runtime.compute.duration(m, fraction=1.0 / 3.0)
+        dur_bwd = runtime.compute.duration(m, fraction=2.0 / 3.0)
+        t_comm = (time.perf_counter() - start) - msg.request_sent_at
+        worker.load_params(msg.weights, msg.version, t_comm)
+
+        state = worker.forward()
+        if compute_scale > 0:
+            time.sleep(compute_scale * dur_fwd)
+
+        reply = None
+        if runtime.requires_compensation:
+            channel.to_server(StatePush(m, state=state), nbytes=runtime.state_bytes)
+            msg = channel.inbox.get()
+            if isinstance(msg, Shutdown):
+                return
+            reply = msg.reply
+
+        bwd_start = time.perf_counter()
+        payload = worker.backward(
+            reply=reply,
+            lc_lambda=config.lc_lambda,
+            compensation=config.compensation,
+            t_comp=0.0,
+        )
+        if compute_scale > 0:
+            time.sleep(compute_scale * dur_bwd)
+        worker.last_t_comp = time.perf_counter() - bwd_start
+
+        if runtime.requires_compensation:
+            channel.to_server(GradientPush(m, payload=payload), nbytes=runtime.model_bytes)
+        else:
+            channel.to_server(
+                CombinedPush(m, state=state, payload=payload),
+                nbytes=runtime.model_bytes + runtime.state_bytes,
+            )
+        cycles += 1
+
+
+def _crash_after(worker_id: int) -> Optional[int]:
+    """Cycle count after which this worker should fake a crash, if any."""
+    target = os.environ.get(CRASH_WORKER_ENV)
+    if target is None or int(target) != worker_id:
+        return None
+    return int(os.environ.get(CRASH_AFTER_ENV, "1"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.runtime.proc_worker",
+        description="proc-backend worker child (spawned by ProcBackend)",
+    )
+    parser.add_argument("--host", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--worker-id", type=int, required=True)
+    args = parser.parse_args(argv)
+    worker_id = args.worker_id
+
+    sock = socket.create_connection((args.host, args.port), timeout=60.0)
+    conn = FrameConnection(sock)
+    try:
+        conn.send_control(
+            {"hello": worker_id, "token": os.environ.get(TOKEN_ENV, "")}
+        )
+        doc, _ = conn.recv()
+        if not isinstance(doc, dict) or "config" not in doc:
+            print(f"worker {worker_id}: bad config frame {doc!r}", file=sys.stderr)
+            return EXIT_INIT_FAILURE
+        try:
+            config = TrainingConfig.from_dict(doc["config"])
+            runtime = WorkerRuntime.from_config(config, worker_id)
+        except BaseException:
+            # report the build failure to the parent, then exit nonzero
+            conn.send_control({"error": traceback.format_exc()})
+            return EXIT_INIT_FAILURE
+        conn.send_control({"ready": worker_id})
+
+        start_doc, _ = conn.recv()
+        if not isinstance(start_doc, dict) or not start_doc.get("start"):
+            print(f"worker {worker_id}: expected start, got {start_doc!r}", file=sys.stderr)
+            return EXIT_INIT_FAILURE
+        conn.settimeout(None)
+
+        time_scale = float(doc.get("time_scale", 0.0))
+        compute_scale = float(doc.get("compute_scale", 0.0))
+        channel = WorkerChannel(
+            conn,
+            worker_id,
+            network=runtime.network if time_scale > 0 else None,
+            time_scale=time_scale,
+        )
+        run_worker(channel, runtime, compute_scale)
+        return 0
+    except (ConnectionClosed, BrokenPipeError, ConnectionResetError):
+        # the parent vanished (crash or SIGKILL): exit quietly, never linger
+        return 0
+    except BaseException:
+        traceback.print_exc()
+        return 1
+    finally:
+        conn.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""The server actor loop shared by every concurrent backend.
+
+One thread owns the :class:`~repro.core.server.ParameterServer` and is the
+only thread that ever calls its handlers — the math needs no locks because
+the actor loop serializes every message.  The loop is transport-agnostic:
+anything exposing the :class:`~repro.runtime.transport.InProcTransport`
+surface (``server_inbox`` / ``to_worker`` / ``wake_all_workers``) can feed
+it, which is how the thread backend (in-process mailboxes) and the proc
+backend (real sockets) execute the identical Algorithm-2 dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.runtime.messages import (
+    CombinedPush,
+    CompensationMessage,
+    GradientPush,
+    PullReply,
+    PullRequest,
+    Shutdown,
+    StatePush,
+)
+from repro.runtime.session import REQUEST_BYTES, ExperimentSession
+
+
+class RunControl:
+    """Shared run state: the wall clock, the done flag, the first error."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self._start = 0.0
+        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+
+    def start_clock(self) -> None:
+        self._start = time.perf_counter()
+
+    def clock(self) -> float:
+        """Real seconds since the run started."""
+        return time.perf_counter() - self._start
+
+    def fail(self, exc: BaseException) -> None:
+        """Record the first failure and unblock everyone."""
+        with self._error_lock:
+            if self._error is None:
+                self._error = exc
+        self.done.set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        with self._error_lock:
+            return self._error
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the first recorded failure with its original traceback.
+
+        The exception object still carries the frames of the worker/server
+        thread that raised it; re-raising via ``with_traceback`` keeps them
+        at the head of the chain so the crash site stays visible.
+        """
+        error = self.error
+        if error is not None:
+            raise error.with_traceback(error.__traceback__)
+
+
+def server_actor_loop(session: ExperimentSession, transport, ctl: RunControl) -> None:
+    """Drain the server inbox, dispatching Algorithm 2 until Shutdown.
+
+    ``transport`` is anything with the InProcTransport surface.  Failures
+    propagate to the backend through ``ctl``; workers are woken so nobody
+    blocks on a mailbox that will never fill again.
+    """
+    plan = session.plan
+    server = plan.server
+    trace = session.trace
+    try:
+        while True:
+            msg = transport.server_inbox.get()
+            if isinstance(msg, Shutdown):
+                return
+            if ctl.done.is_set():
+                continue  # budget met: drop straggler traffic
+            now = ctl.clock()
+            if isinstance(msg, PullRequest):
+                weights = server.handle_pull(msg.worker, request_time=msg.sent_at)
+                trace.record(now, "pull", msg.worker, version=server.version)
+                if weights is not None:  # None: queued behind the SSGD barrier
+                    transport.to_worker(
+                        msg.worker,
+                        PullReply(
+                            msg.worker,
+                            weights=weights,
+                            version=server.pull_versions[msg.worker],
+                            request_sent_at=msg.sent_at,
+                        ),
+                        nbytes=plan.model_bytes,
+                    )
+            elif isinstance(msg, StatePush):
+                reply = server.handle_state(msg.state)
+                trace.record(now, "state", msg.worker, version=server.version, value=msg.state.loss)
+                transport.to_worker(
+                    msg.worker, CompensationMessage(msg.worker, reply=reply), nbytes=REQUEST_BYTES
+                )
+            elif isinstance(msg, (GradientPush, CombinedPush)):
+                if isinstance(msg, CombinedPush):
+                    advanced, staleness = server.handle_combined(msg.state, msg.payload)
+                else:
+                    trace.record(now, "gradient", msg.worker, version=server.version)
+                    advanced, staleness = server.handle_gradient(msg.payload)
+                trace.record(
+                    now, "update", msg.worker,
+                    version=server.version, staleness=staleness, value=msg.payload.loss,
+                )
+                if advanced:
+                    for worker_id, t0 in server.drain_pending_pulls():
+                        transport.to_worker(
+                            worker_id,
+                            PullReply(
+                                worker_id,
+                                weights=server.params.copy(),
+                                version=server.pull_versions[worker_id],
+                                request_sent_at=t0,
+                            ),
+                            nbytes=plan.model_bytes,
+                        )
+                session.maybe_evaluate(ctl.clock())
+                if server.batches_processed >= plan.total_updates:
+                    ctl.done.set()
+                    transport.wake_all_workers(Shutdown())
+            else:
+                raise TypeError(f"server actor received {type(msg).__name__}")
+    except BaseException as exc:  # propagate to the caller via ctl
+        ctl.fail(exc)
+        transport.wake_all_workers(Shutdown())

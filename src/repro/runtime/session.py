@@ -27,6 +27,15 @@ thread.  The ``compute``/``network`` models keep independent per-worker RNG
 streams, so per-worker sampling is safe from that worker's thread.  The
 one cross-thread read — local-BN-mode evaluation borrowing worker 0's
 running statistics — synchronizes on that worker's ``model_lock``.
+
+Process-backend contract: replicas need not share an address space at all.
+Because every stochastic component re-derives from ``config.seed`` via
+name-keyed :class:`~repro.utils.rng.RngTree` streams (never call order),
+a child process can rebuild *just its own* replica + loader with
+:class:`WorkerRuntime` and arrive at bit-identical initialization — only
+weights travel over the wire after that.  The parent's plan keeps its
+replicas untouched; its ``server``/session side is driven exactly as in
+the thread backend.
 """
 
 from __future__ import annotations
@@ -70,6 +79,66 @@ STATE_OVERHEAD_BYTES = 1024
 # repro.nn.registry, imported above and re-exported for existing callers.
 
 
+def build_worker(
+    config: TrainingConfig,
+    train_set: ArrayDataset,
+    num_classes: int,
+    worker_id: int,
+    rng_tree: Optional[RngTree] = None,
+) -> DistributedWorker:
+    """One replica + loader for worker ``worker_id``, derived from the seed.
+
+    ``build_model`` reseeds from ``config.seed`` on every call and loader
+    streams are keyed by worker name, so any process can rebuild any single
+    worker bit-identically without constructing the other ``M - 1``.
+    """
+    rng_tree = rng_tree if rng_tree is not None else RngTree(config.seed)
+    model = build_model(config, train_set.input_shape, num_classes)
+    loader = DataLoader(
+        train_set,
+        config.batch_size,
+        shuffle=True,
+        seed=rng_tree.child(f"worker-{worker_id}").generator("batches"),
+    )
+    return DistributedWorker(
+        worker_id, model, loader, collect_bn=config.bn_mode != "local"
+    )
+
+
+def _build_cluster_models(
+    config: TrainingConfig, rng_tree: RngTree
+) -> Tuple[ComputeModel, NetworkModel]:
+    """The virtual compute/network timing models one config implies."""
+    cl = config.cluster
+    sequential = config.algorithm == "sgd"
+    compute = ComputeModel(
+        config.num_workers,
+        mean_batch_time=cl.mean_batch_time,
+        heterogeneity=0.0 if sequential else cl.compute_heterogeneity,
+        jitter_sigma=0.0 if sequential else cl.compute_jitter,
+        straggler=StragglerModel(cl.straggler_probability, cl.straggler_slowdown),
+        seed=rng_tree.child("compute"),
+    )
+    link = LinkModel(
+        base_latency=0.0 if sequential else cl.link_latency,
+        bandwidth=cl.link_bandwidth,
+        jitter_sigma=0.0 if sequential else cl.link_jitter,
+    )
+    network = NetworkModel(
+        config.num_workers,
+        link=link,
+        heterogeneity=0.0 if sequential else cl.network_heterogeneity,
+        seed=rng_tree.child("network"),
+    )
+    return compute, network
+
+
+def _state_bytes_for(config: TrainingConfig, feature_sizes: List[int]) -> int:
+    """Wire size of one ``state_m`` push for this config's model."""
+    bn_payload = sum(2 * s * 4 for s in feature_sizes)
+    return STATE_OVERHEAD_BYTES + (bn_payload if config.bn_mode != "local" else 0)
+
+
 @dataclass
 class ExperimentPlan:
     """Everything a backend needs to execute one configured run.
@@ -101,8 +170,16 @@ class ExperimentPlan:
     )
 
     @classmethod
-    def from_config(cls, config: TrainingConfig) -> "ExperimentPlan":
-        """Wire one experiment: datasets, replicas, server, cluster models."""
+    def from_config(
+        cls, config: TrainingConfig, build_workers: bool = True
+    ) -> "ExperimentPlan":
+        """Wire one experiment: datasets, replicas, server, cluster models.
+
+        ``build_workers=False`` skips the ``M`` in-process replicas for
+        backends whose workers live elsewhere (proc children rebuild their
+        own from the seed) — the server still starts from the identical
+        initialization because ``eval_model`` is built the same way.
+        """
         rng_tree = RngTree(config.seed)
         timer = Timer()
 
@@ -111,18 +188,10 @@ class ExperimentPlan:
 
         # model replicas (identical init) ------------------------------------------------
         eval_model = build_model(config, input_shape, num_classes)
-        workers: List[DistributedWorker] = []
-        for m in range(config.num_workers):
-            model = build_model(config, input_shape, num_classes)
-            loader = DataLoader(
-                train_set,
-                config.batch_size,
-                shuffle=True,
-                seed=rng_tree.child(f"worker-{m}").generator("batches"),
-            )
-            workers.append(
-                DistributedWorker(m, model, loader, collect_bn=config.bn_mode != "local")
-            )
+        workers: List[DistributedWorker] = [
+            build_worker(config, train_set, num_classes, m, rng_tree)
+            for m in range(config.num_workers if build_workers else 0)
+        ]
 
         # server --------------------------------------------------------------------------
         iters_per_epoch = max(1, int(np.ceil(len(train_set) / config.batch_size)))
@@ -163,7 +232,9 @@ class ExperimentPlan:
             dc_adaptive=config.dc_adaptive,
         )
         schedule = MultiStepLR(config.base_lr, config.lr_milestones, config.lr_gamma)
-        init_params = get_flat_params(workers[0].model)
+        # eval_model is initialized identically to every replica (same seed
+        # path), so it seeds the server when no in-process workers exist
+        init_params = get_flat_params(workers[0].model if workers else eval_model)
         server = ParameterServer(
             init_params,
             rule,
@@ -177,31 +248,10 @@ class ExperimentPlan:
             timer=timer,
         )
         model_bytes = init_params.size * 4  # float32 wire format
-        bn_payload = sum(2 * s * 4 for s in feature_sizes)
-        state_bytes = STATE_OVERHEAD_BYTES + (bn_payload if config.bn_mode != "local" else 0)
+        state_bytes = _state_bytes_for(config, feature_sizes)
 
         # cluster --------------------------------------------------------------------------
-        cl = config.cluster
-        sequential = config.algorithm == "sgd"
-        compute = ComputeModel(
-            config.num_workers,
-            mean_batch_time=cl.mean_batch_time,
-            heterogeneity=0.0 if sequential else cl.compute_heterogeneity,
-            jitter_sigma=0.0 if sequential else cl.compute_jitter,
-            straggler=StragglerModel(cl.straggler_probability, cl.straggler_slowdown),
-            seed=rng_tree.child("compute"),
-        )
-        link = LinkModel(
-            base_latency=0.0 if sequential else cl.link_latency,
-            bandwidth=cl.link_bandwidth,
-            jitter_sigma=0.0 if sequential else cl.link_jitter,
-        )
-        network = NetworkModel(
-            config.num_workers,
-            link=link,
-            heterogeneity=0.0 if sequential else cl.network_heterogeneity,
-            seed=rng_tree.child("network"),
-        )
+        compute, network = _build_cluster_models(config, rng_tree)
 
         return cls(
             config=config,
@@ -219,6 +269,59 @@ class ExperimentPlan:
             total_updates=total_updates,
             model_bytes=model_bytes,
             state_bytes=state_bytes,
+        )
+
+
+@dataclass
+class WorkerRuntime:
+    """The slice of an :class:`ExperimentPlan` one proc-backend child needs.
+
+    A child process re-derives everything below from ``(config, worker_id)``
+    alone: the dataset, its own identically-initialized replica + loader,
+    the virtual timing models it uses for delay emulation, and the derived
+    wire-size/protocol facts.  No weights are shipped at startup — the seed
+    is the contract (see the module docstring's process-backend section).
+    """
+
+    config: TrainingConfig
+    worker_id: int
+    worker: DistributedWorker
+    compute: ComputeModel
+    network: NetworkModel
+    model_bytes: int
+    state_bytes: int
+    #: whether the algorithm runs the state push -> compensation round trip
+    requires_compensation: bool
+
+    @classmethod
+    def from_config(cls, config: TrainingConfig, worker_id: int) -> "WorkerRuntime":
+        """Rebuild worker ``worker_id``'s runtime from the config alone."""
+        if not 0 <= worker_id < config.num_workers:
+            raise ValueError(
+                f"worker_id {worker_id} out of range for num_workers={config.num_workers}"
+            )
+        rng_tree = RngTree(config.seed)
+        train_set, _, num_classes = build_dataset(config)
+        worker = build_worker(config, train_set, num_classes, worker_id, rng_tree)
+        compute, network = _build_cluster_models(config, rng_tree)
+        init_params = get_flat_params(worker.model)
+        feature_sizes = [layer.num_features for layer in bn_layers(worker.model)]
+        rule = make_update_rule(
+            config.algorithm,
+            num_workers=config.num_workers,
+            momentum=config.momentum,
+            dc_lambda=config.dc_lambda,
+            dc_adaptive=config.dc_adaptive,
+        )
+        return cls(
+            config=config,
+            worker_id=worker_id,
+            worker=worker,
+            compute=compute,
+            network=network,
+            model_bytes=init_params.size * 4,
+            state_bytes=_state_bytes_for(config, feature_sizes),
+            requires_compensation=rule.requires_compensation,
         )
 
 
@@ -255,9 +358,13 @@ class ExperimentSession:
         set_flat_params(plan.eval_model, plan.server.params)
         if plan.server.bn_strategy is not None:
             load_bn_running_stats(plan.eval_model, plan.server.bn_strategy.current())
-        else:  # local mode: sequential SGD's own running statistics.  The
-            # lock keeps the snapshot consistent when worker 0 is a live
-            # thread mid-forward (thread backend, bn_mode="local", M > 1).
+        elif plan.workers:  # local mode: sequential SGD's own running
+            # statistics.  The lock keeps the snapshot consistent when
+            # worker 0 is a live thread mid-forward (thread backend,
+            # bn_mode="local", M > 1).  Worker-replica-free plans (proc)
+            # only reach local mode when the model has no BN layers — the
+            # proc backend rejects the combination otherwise — so there is
+            # nothing to borrow.
             with plan.workers[0].model_lock:
                 source_layers = bn_layers(plan.workers[0].model)
                 stats = [(l.running_mean.copy(), l.running_var.copy()) for l in source_layers]

@@ -30,19 +30,17 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.metrics import RunResult
 from repro.runtime.messages import (
     CombinedPush,
-    CompensationMessage,
     GradientPush,
-    Message,
-    PullReply,
     PullRequest,
     Shutdown,
     StatePush,
 )
+from repro.runtime.server_actor import RunControl, server_actor_loop
 from repro.runtime.session import (
     REQUEST_BYTES,
     ExperimentPlan,
@@ -52,34 +50,6 @@ from repro.runtime.transport import InProcTransport
 from repro.utils.logging import get_logger
 
 logger = get_logger("runtime.thread")
-
-
-class _RunControl:
-    """Shared run state: the wall clock, the done flag, the first error."""
-
-    def __init__(self) -> None:
-        self.done = threading.Event()
-        self._start = 0.0
-        self._error: Optional[BaseException] = None
-        self._error_lock = threading.Lock()
-
-    def start_clock(self) -> None:
-        self._start = time.perf_counter()
-
-    def clock(self) -> float:
-        """Real seconds since the run started."""
-        return time.perf_counter() - self._start
-
-    def fail(self, exc: BaseException) -> None:
-        """Record the first failure and unblock everyone."""
-        with self._error_lock:
-            if self._error is None:
-                self._error = exc
-        self.done.set()
-
-    @property
-    def error(self) -> Optional[BaseException]:
-        return self._error
 
 
 class RoundRobinTurnstile:
@@ -174,11 +144,11 @@ class ThreadBackend:
             network=plan.network if self.time_scale > 0 else None,
             time_scale=self.time_scale,
         )
-        ctl = _RunControl()
+        ctl = RunControl()
         turnstile = RoundRobinTurnstile(num_workers) if self.deterministic else None
 
         server_thread = threading.Thread(
-            target=self._server_loop,
+            target=server_actor_loop,
             args=(session, transport, ctl),
             name="repro-server",
             daemon=True,
@@ -209,8 +179,7 @@ class ThreadBackend:
         server_thread.join(timeout=30.0)
         elapsed = ctl.clock()
 
-        if ctl.error is not None:
-            raise ctl.error
+        ctl.raise_if_failed()
         stuck = [t.name for t in (*worker_threads, server_thread) if t.is_alive()]
         if stuck:
             raise RuntimeError(f"thread backend failed to join threads: {stuck}")
@@ -223,81 +192,15 @@ class ThreadBackend:
         return session.build_result(elapsed, backend=self.name, wall_time=elapsed)
 
     # ------------------------------------------------------------------ #
-    # server actor: the ONLY thread that touches ParameterServer/eval/trace
-    # ------------------------------------------------------------------ #
-    def _server_loop(self, session: ExperimentSession, transport: InProcTransport, ctl: _RunControl) -> None:
-        plan = session.plan
-        server = plan.server
-        trace = session.trace
-        try:
-            while True:
-                msg = transport.server_inbox.get()
-                if isinstance(msg, Shutdown):
-                    return
-                if ctl.done.is_set():
-                    continue  # budget met: drop straggler traffic
-                now = ctl.clock()
-                if isinstance(msg, PullRequest):
-                    weights = server.handle_pull(msg.worker, request_time=msg.sent_at)
-                    trace.record(now, "pull", msg.worker, version=server.version)
-                    if weights is not None:  # None: queued behind the SSGD barrier
-                        transport.to_worker(
-                            msg.worker,
-                            PullReply(
-                                msg.worker,
-                                weights=weights,
-                                version=server.pull_versions[msg.worker],
-                                request_sent_at=msg.sent_at,
-                            ),
-                            nbytes=plan.model_bytes,
-                        )
-                elif isinstance(msg, StatePush):
-                    reply = server.handle_state(msg.state)
-                    trace.record(now, "state", msg.worker, version=server.version, value=msg.state.loss)
-                    transport.to_worker(
-                        msg.worker, CompensationMessage(msg.worker, reply=reply), nbytes=REQUEST_BYTES
-                    )
-                elif isinstance(msg, (GradientPush, CombinedPush)):
-                    if isinstance(msg, CombinedPush):
-                        advanced, staleness = server.handle_combined(msg.state, msg.payload)
-                    else:
-                        trace.record(now, "gradient", msg.worker, version=server.version)
-                        advanced, staleness = server.handle_gradient(msg.payload)
-                    trace.record(
-                        now, "update", msg.worker,
-                        version=server.version, staleness=staleness, value=msg.payload.loss,
-                    )
-                    if advanced:
-                        for worker_id, t0 in server.drain_pending_pulls():
-                            transport.to_worker(
-                                worker_id,
-                                PullReply(
-                                    worker_id,
-                                    weights=server.params.copy(),
-                                    version=server.pull_versions[worker_id],
-                                    request_sent_at=t0,
-                                ),
-                                nbytes=plan.model_bytes,
-                            )
-                    session.maybe_evaluate(ctl.clock())
-                    if server.batches_processed >= plan.total_updates:
-                        ctl.done.set()
-                        transport.wake_all_workers(Shutdown())
-                else:
-                    raise TypeError(f"server actor received {type(msg).__name__}")
-        except BaseException as exc:  # propagate to the caller via ctl
-            ctl.fail(exc)
-            transport.wake_all_workers(Shutdown())
-
-    # ------------------------------------------------------------------ #
-    # worker threads
+    # worker threads (the server actor loop lives in runtime.server_actor,
+    # shared verbatim with the proc backend)
     # ------------------------------------------------------------------ #
     def _worker_loop(
         self,
         m: int,
         session: ExperimentSession,
         transport: InProcTransport,
-        ctl: _RunControl,
+        ctl: RunControl,
         turnstile: Optional[RoundRobinTurnstile],
     ) -> None:
         try:
@@ -317,7 +220,7 @@ class ThreadBackend:
                 turnstile.retire(m)
 
     def _one_cycle(
-        self, m: int, session: ExperimentSession, transport: InProcTransport, ctl: _RunControl
+        self, m: int, session: ExperimentSession, transport: InProcTransport, ctl: RunControl
     ) -> bool:
         """One pull -> forward -> [state/comp] -> backward -> push cycle.
 

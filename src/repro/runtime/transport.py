@@ -19,36 +19,64 @@ speed.
 from __future__ import annotations
 
 import queue
+import threading
 import time
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from repro.cluster.network import NetworkModel
 from repro.runtime.messages import Message
 
 
 class Mailbox:
-    """FIFO of (message, delivery deadline) pairs with blocking receive."""
+    """FIFO of (message, delivery deadline) pairs with blocking receive.
+
+    Delivery honours each message's ``not_before`` deadline — that is how
+    emulated downlink delay reaches the receiver without blocking the
+    sender.  Control messages (``Shutdown.expedite``) cancel every pending
+    deadline the moment they are enqueued: once the run is over, a receiver
+    must not sleep out an emulated link delay that is queued ahead of the
+    news.  Receivers blocked mid-deadline are woken immediately.
+    """
 
     def __init__(self) -> None:
-        self._queue: "queue.Queue[Tuple[Message, float]]" = queue.Queue()
+        self._cond = threading.Condition()
+        self._items: Deque[Tuple[Message, float]] = deque()
+        self._expedited = False
 
     def put(self, message: Message, not_before: float = 0.0) -> None:
         """Enqueue ``message``, deliverable no earlier than ``not_before``."""
-        self._queue.put((message, not_before))
+        with self._cond:
+            if message.expedite:
+                self._expedited = True
+            self._items.append((message, not_before))
+            self._cond.notify_all()
 
     def get(self, timeout: Optional[float] = None) -> Message:
         """Block for the next message, honouring its delivery deadline.
 
         Raises ``queue.Empty`` when ``timeout`` (seconds) elapses first.
         """
-        message, not_before = self._queue.get(timeout=timeout)
-        remaining = not_before - time.monotonic()
-        if remaining > 0:
-            time.sleep(remaining)
-        return message
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                wake: Optional[float] = None
+                if self._items:
+                    message, not_before = self._items[0]
+                    if self._expedited or not_before <= now:
+                        self._items.popleft()
+                        return message
+                    wake = not_before
+                if deadline is not None:
+                    if now >= deadline:
+                        raise queue.Empty
+                    wake = deadline if wake is None else min(wake, deadline)
+                self._cond.wait(timeout=None if wake is None else max(0.0, wake - now))
 
     def __len__(self) -> int:
-        return self._queue.qsize()
+        with self._cond:
+            return len(self._items)
 
 
 class InProcTransport:

@@ -1,0 +1,395 @@
+"""Wire layer for the process backend: framing + message (de)serialization.
+
+Every frame on a worker socket is::
+
+    [u32 frame length][u32 header length][header JSON][raw array payloads]
+
+The header is a small JSON document carrying the message kind, its scalar
+fields, an optional delivery ``delay`` (the emulated downlink occupancy the
+receiver sleeps out — the :class:`~repro.runtime.transport.Mailbox`
+contract), and one dtype/shape descriptor per array payload.  Numpy
+payloads travel as raw buffers appended after the header in descriptor
+order; weights, gradients and BN statistics are cast to the repository's
+documented float32 wire format (``model_bytes = params * 4``), never
+pickled.
+
+Two frame flavors share the transport:
+
+* **message frames** — one :mod:`repro.runtime.messages` envelope each;
+  :func:`encode_message` / :func:`decode` are exact inverses for every
+  type (property-tested in ``tests/runtime/test_wire.py``).
+* **control frames** — plain JSON documents for the parent/child
+  handshake (hello, config, ready, start, error).  :func:`decode` returns
+  the dict itself so handshake code never touches the codec tables.
+
+Nothing here is proc-specific: any transport that moves bytes (TCP here,
+maybe TLS or shared memory later) can reuse the framing unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.core.state import CompensationReply, GradientPayload, WorkerState
+from repro.runtime.messages import (
+    CombinedPush,
+    CompensationMessage,
+    GradientPush,
+    Message,
+    PullReply,
+    PullRequest,
+    Shutdown,
+    StatePush,
+)
+
+#: bumped whenever the header schema or codec tables change incompatibly;
+#: the handshake rejects children speaking a different version
+PROTOCOL_VERSION = 1
+
+#: dtype every float payload is cast to on the wire (matches the
+#: ``model_bytes = params * 4`` accounting in repro.runtime.session)
+WIRE_DTYPE = np.float32
+
+#: refuse frames beyond this size — a corrupt length prefix must not
+#: trigger a gigabyte allocation
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(RuntimeError):
+    """Malformed frame, unknown message kind, or protocol violation."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed the socket mid-stream (EOF before a full frame)."""
+
+
+# ---------------------------------------------------------------------- #
+# array payloads
+# ---------------------------------------------------------------------- #
+def _array_meta(arrays: List[np.ndarray]) -> List[Dict[str, Any]]:
+    return [{"dtype": a.dtype.name, "shape": list(a.shape)} for a in arrays]
+
+
+def _wire_array(value: np.ndarray) -> np.ndarray:
+    """Contiguous float32 view of a payload array (the wire format)."""
+    return np.ascontiguousarray(value, dtype=WIRE_DTYPE)
+
+
+def _split_arrays(blob: bytes, meta: List[Dict[str, Any]]) -> List[np.ndarray]:
+    """Rebuild the payload arrays from the raw bytes after the header."""
+    arrays: List[np.ndarray] = []
+    offset = 0
+    for entry in meta:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
+        chunk = blob[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise WireError(
+                f"array payload truncated: expected {nbytes} bytes, got {len(chunk)}"
+            )
+        # .copy(): frombuffer views are read-only and pin the frame alive
+        arrays.append(np.frombuffer(chunk, dtype=dtype).reshape(shape).copy())
+        offset += nbytes
+    if offset != len(blob):
+        raise WireError(f"frame carries {len(blob) - offset} unclaimed payload byte(s)")
+    return arrays
+
+
+# ---------------------------------------------------------------------- #
+# per-kind codecs: message -> (fields, arrays) and back
+# ---------------------------------------------------------------------- #
+def _state_fields(state: WorkerState) -> Dict[str, Any]:
+    return {
+        "worker": state.worker,
+        "loss": float(state.loss),
+        "t_comm": float(state.t_comm),
+        "t_comp": float(state.t_comp),
+        "pull_version": int(state.pull_version),
+        "bn_layers": len(state.bn_stats),
+    }
+
+
+def _state_arrays(state: WorkerState) -> List[np.ndarray]:
+    arrays: List[np.ndarray] = []
+    for mean, var in state.bn_stats:
+        arrays.append(_wire_array(mean))
+        arrays.append(_wire_array(var))
+    return arrays
+
+
+def _state_from(fields: Dict[str, Any], arrays: List[np.ndarray]) -> WorkerState:
+    layers = int(fields["bn_layers"])
+    bn_stats = [(arrays[2 * i], arrays[2 * i + 1]) for i in range(layers)]
+    return WorkerState(
+        worker=int(fields["worker"]),
+        loss=float(fields["loss"]),
+        bn_stats=bn_stats,
+        t_comm=float(fields["t_comm"]),
+        t_comp=float(fields["t_comp"]),
+        pull_version=int(fields["pull_version"]),
+    )
+
+
+def _payload_fields(payload: GradientPayload) -> Dict[str, Any]:
+    return {
+        "worker": payload.worker,
+        "pull_version": int(payload.pull_version),
+        "loss": float(payload.loss),
+    }
+
+
+def _payload_from(fields: Dict[str, Any], grad: np.ndarray) -> GradientPayload:
+    # GradientPayload.__post_init__ restores float64 math precision and
+    # recomputes nbytes from the float32 wire size
+    return GradientPayload(
+        worker=int(fields["worker"]),
+        grad=grad,
+        pull_version=int(fields["pull_version"]),
+        loss=float(fields["loss"]),
+    )
+
+
+def _enc_pull_request(msg: PullRequest):
+    return {"worker": msg.worker, "sent_at": float(msg.sent_at)}, []
+
+
+def _dec_pull_request(fields, arrays):
+    return PullRequest(int(fields["worker"]), sent_at=float(fields["sent_at"]))
+
+
+def _enc_pull_reply(msg: PullReply):
+    fields = {
+        "worker": msg.worker,
+        "version": int(msg.version),
+        "request_sent_at": float(msg.request_sent_at),
+        "has_weights": msg.weights is not None,
+    }
+    arrays = [] if msg.weights is None else [_wire_array(msg.weights)]
+    return fields, arrays
+
+
+def _dec_pull_reply(fields, arrays):
+    weights = arrays[0] if fields["has_weights"] else None
+    return PullReply(
+        int(fields["worker"]),
+        weights=weights,
+        version=int(fields["version"]),
+        request_sent_at=float(fields["request_sent_at"]),
+    )
+
+
+def _enc_state_push(msg: StatePush):
+    return {"worker": msg.worker, "state": _state_fields(msg.state)}, _state_arrays(msg.state)
+
+
+def _dec_state_push(fields, arrays):
+    return StatePush(int(fields["worker"]), state=_state_from(fields["state"], arrays))
+
+
+def _enc_compensation(msg: CompensationMessage):
+    reply = None
+    if msg.reply is not None:
+        reply = {
+            "worker": msg.reply.worker,
+            "l_delay": float(msg.reply.l_delay),
+            "predicted_step": int(msg.reply.predicted_step),
+            "sensitivity": float(msg.reply.sensitivity),
+        }
+    return {"worker": msg.worker, "reply": reply}, []
+
+
+def _dec_compensation(fields, arrays):
+    reply = None
+    if fields["reply"] is not None:
+        r = fields["reply"]
+        reply = CompensationReply(
+            worker=int(r["worker"]),
+            l_delay=float(r["l_delay"]),
+            predicted_step=int(r["predicted_step"]),
+            sensitivity=float(r["sensitivity"]),
+        )
+    return CompensationMessage(int(fields["worker"]), reply=reply)
+
+
+def _enc_gradient_push(msg: GradientPush):
+    return (
+        {"worker": msg.worker, "payload": _payload_fields(msg.payload)},
+        [_wire_array(msg.payload.grad)],
+    )
+
+
+def _dec_gradient_push(fields, arrays):
+    return GradientPush(int(fields["worker"]), payload=_payload_from(fields["payload"], arrays[0]))
+
+
+def _enc_combined_push(msg: CombinedPush):
+    fields = {
+        "worker": msg.worker,
+        "state": _state_fields(msg.state),
+        "payload": _payload_fields(msg.payload),
+    }
+    return fields, _state_arrays(msg.state) + [_wire_array(msg.payload.grad)]
+
+
+def _dec_combined_push(fields, arrays):
+    return CombinedPush(
+        int(fields["worker"]),
+        state=_state_from(fields["state"], arrays[:-1]),
+        payload=_payload_from(fields["payload"], arrays[-1]),
+    )
+
+
+def _enc_shutdown(msg: Shutdown):
+    return {"worker": msg.worker}, []
+
+
+def _dec_shutdown(fields, arrays):
+    return Shutdown(int(fields["worker"]))
+
+
+_CODECS = {
+    "PullRequest": (PullRequest, _enc_pull_request, _dec_pull_request),
+    "PullReply": (PullReply, _enc_pull_reply, _dec_pull_reply),
+    "StatePush": (StatePush, _enc_state_push, _dec_state_push),
+    "CompensationMessage": (CompensationMessage, _enc_compensation, _dec_compensation),
+    "GradientPush": (GradientPush, _enc_gradient_push, _dec_gradient_push),
+    "CombinedPush": (CombinedPush, _enc_combined_push, _dec_combined_push),
+    "Shutdown": (Shutdown, _enc_shutdown, _dec_shutdown),
+}
+_ENCODERS = {cls: (kind, enc) for kind, (cls, enc, _) in _CODECS.items()}
+
+
+# ---------------------------------------------------------------------- #
+# frame encode/decode
+# ---------------------------------------------------------------------- #
+def _pack(header: Dict[str, Any], arrays: List[np.ndarray]) -> bytes:
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [_LEN.pack(len(header_bytes)), header_bytes]
+    parts.extend(a.tobytes() for a in arrays)
+    return b"".join(parts)
+
+
+def encode_message(message: Message, delay: float = 0.0) -> bytes:
+    """Serialize one envelope (plus its delivery ``delay`` stamp)."""
+    try:
+        kind, encoder = _ENCODERS[type(message)]
+    except KeyError:
+        raise WireError(f"no wire codec for {type(message).__name__}")
+    fields, arrays = encoder(message)
+    header = {
+        "v": PROTOCOL_VERSION,
+        "kind": kind,
+        "delay": float(delay),
+        "fields": fields,
+        "arrays": _array_meta(arrays),
+    }
+    return _pack(header, arrays)
+
+
+def encode_control(doc: Dict[str, Any]) -> bytes:
+    """Serialize a handshake document (hello/config/ready/start/error)."""
+    header = {"v": PROTOCOL_VERSION, "kind": "control", "delay": 0.0,
+              "fields": doc, "arrays": []}
+    return _pack(header, [])
+
+
+def decode(payload: bytes) -> Tuple[Union[Message, Dict[str, Any]], float]:
+    """Inverse of :func:`encode_message` / :func:`encode_control`.
+
+    Returns ``(message, delay)`` for message frames and ``(doc, 0.0)``
+    for control frames (the caller distinguishes with ``isinstance``).
+    """
+    if len(payload) < _LEN.size:
+        raise WireError(f"frame too short for a header length ({len(payload)} bytes)")
+    (header_len,) = _LEN.unpack_from(payload)
+    if header_len > len(payload) - _LEN.size:
+        raise WireError(f"header length {header_len} exceeds frame size {len(payload)}")
+    try:
+        header = json.loads(payload[_LEN.size : _LEN.size + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"unparseable frame header: {exc}")
+    version = header.get("v")
+    if version != PROTOCOL_VERSION:
+        raise WireError(f"wire protocol mismatch: got v{version}, speak v{PROTOCOL_VERSION}")
+    kind = header.get("kind")
+    delay = float(header.get("delay", 0.0))
+    if kind == "control":
+        return dict(header.get("fields", {})), 0.0
+    try:
+        _, _, decoder = _CODECS[kind]
+    except KeyError:
+        raise WireError(f"unknown message kind {kind!r}")
+    arrays = _split_arrays(payload[_LEN.size + header_len :], header.get("arrays", []))
+    return decoder(header["fields"], arrays), delay
+
+
+# ---------------------------------------------------------------------- #
+# socket framing
+# ---------------------------------------------------------------------- #
+class FrameConnection:
+    """One framed, length-prefixed socket: sendall frames out, read them back.
+
+    Thread contract: at most one sender and one reader at a time; callers
+    with multiple sending threads (e.g. the server actor plus a shutdown
+    broadcast) hold their own per-connection send lock.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        try:  # latency matters more than throughput for 4-message cycles
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, ValueError):
+            pass  # not a TCP socket (tests use socketpair)
+
+    # -------------------------------------------------------------- #
+    def send_frame(self, payload: bytes) -> None:
+        self._sock.sendall(_LEN.pack(len(payload)) + payload)
+
+    def send_message(self, message: Message, delay: float = 0.0) -> None:
+        self.send_frame(encode_message(message, delay=delay))
+
+    def send_control(self, doc: Dict[str, Any]) -> None:
+        self.send_frame(encode_control(doc))
+
+    # -------------------------------------------------------------- #
+    def _read_exact(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = self._sock.recv(n - len(buf))
+            if not chunk:
+                raise ConnectionClosed("peer closed the connection mid-frame")
+            buf += chunk
+        return bytes(buf)
+
+    def read_frame(self) -> bytes:
+        (length,) = _LEN.unpack(self._read_exact(_LEN.size))
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"frame length {length} exceeds cap {MAX_FRAME_BYTES}")
+        return self._read_exact(length)
+
+    def recv(self) -> Tuple[Union[Message, Dict[str, Any]], float]:
+        """Read and decode the next frame: ``(message_or_doc, delay)``."""
+        return decode(self.read_frame())
+
+    # -------------------------------------------------------------- #
+    def settimeout(self, timeout: Union[float, None]) -> None:
+        """Deadline for subsequent socket reads/writes (None = blocking)."""
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -33,6 +33,28 @@ def test_to_dict_is_json_ready():
     assert round_trip == json.loads(json.dumps(payload, sort_keys=True))
 
 
+def test_from_dict_inverts_to_dict():
+    import json
+
+    for factory in (TrainingConfig.tiny, TrainingConfig.spirals, TrainingConfig.small_cifar):
+        cfg = factory(algorithm="lc-asgd", num_workers=3, seed=11)
+        # through a real JSON round trip, as the proc backend ships it;
+        # to_dict equality is the contract that keeps spec keys stable
+        # (free-form model_kwargs tuples legitimately come back as lists)
+        rebuilt = TrainingConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert rebuilt.to_dict() == cfg.to_dict()
+        assert rebuilt.lr_milestones == cfg.lr_milestones  # tuple restored
+        assert rebuilt.predictor == cfg.predictor
+        assert rebuilt.cluster == cfg.cluster
+
+
+def test_from_dict_rejects_unknown_fields():
+    payload = TrainingConfig.tiny().to_dict()
+    payload["warp_factor"] = 9
+    with pytest.raises(ValueError, match="warp_factor"):
+        TrainingConfig.from_dict(payload)
+
+
 def test_spirals_preset_constructs():
     cfg = TrainingConfig.spirals(algorithm="asgd", num_workers=2)
     assert cfg.dataset == "spirals"

@@ -193,6 +193,27 @@ class TestExecutors:
         with pytest.raises(ValueError, match="only runs the 'sim' backend"):
             Campaign([spec], executor=MultiprocessExecutor(processes=2)).run()
 
+    def test_pool_rejects_proc_backend(self):
+        spec = ExperimentSpec(tiny_factory(), backend="proc")
+        with pytest.raises(ValueError, match="only runs the 'sim' backend"):
+            Campaign([spec], executor=MultiprocessExecutor(processes=2)).run()
+
+    def test_pool_reports_starts_as_jobs_are_picked_up(self):
+        # the old bulk submit fired every on_run_start before any run began;
+        # with one process, job 1 must not claim to start before job 0 ends
+        timeline = []
+
+        class TimelineEvents(CampaignEvents):
+            def on_run_start(self, spec, index, total):
+                timeline.append(("start", index))
+
+        specs = Grid(seed=[0, 1]).specs(tiny_factory)
+        executor = MultiprocessExecutor(processes=1)
+        jobs = list(enumerate(specs))
+        for index, _spec, _result in executor.run(jobs, 2, TimelineEvents()):
+            timeline.append(("end", index))
+        assert timeline == [("start", 0), ("end", 0), ("start", 1), ("end", 1)]
+
     def test_pool_persists_results_in_parent_store(self, tmp_path):
         store = ResultStore(tmp_path)
         specs = Grid(seed=[0, 1]).specs(tiny_factory)

@@ -65,6 +65,39 @@ def test_sweep_rejects_unknown_algorithm(tmp_path):
         cli_main(["sweep", "--algorithms", "bogus", "--workers", "2"])
 
 
+def test_sweep_through_proc_backend_persists_and_resumes(tmp_path, capsys):
+    """The acceptance path: a proc-backend grid lands in a ResultStore and a
+    rerun resolves entirely from it (real worker processes both times)."""
+    store_dir = str(tmp_path / "out")
+    argv = [
+        "sweep", "--preset", "spirals", "--backend", "proc",
+        "--algorithms", "asgd,lc-asgd", "--workers", "2", "--seeds", "1",
+        "--epochs", "1", "--json", store_dir,
+    ]
+    assert cli_main(argv) == 0
+    first = capsys.readouterr().out
+    assert "running" in first and "[proc]" in first
+
+    assert cli_main(argv) == 0
+    second = capsys.readouterr().out
+    assert "running" not in second  # resumed: everything cached
+    assert "cached" in second
+
+    import json
+    from pathlib import Path
+
+    records = sorted(Path(store_dir).glob("*.json"))
+    assert len(records) == 2
+    assert all(json.loads(p.read_text())["spec"]["backend"] == "proc" for p in records)
+
+
+def test_deterministic_flag_requires_thread_backend():
+    import pytest
+
+    with pytest.raises(SystemExit, match="thread-backend option"):
+        cli_main(["run", "--backend", "proc", "--deterministic", "--epochs", "1"])
+
+
 def test_info_emits_nested_json(capsys):
     assert cli_main(["info", "--algorithm", "lc-asgd", "--workers", "2"]) == 0
     payload = json.loads(capsys.readouterr().out)

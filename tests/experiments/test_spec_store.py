@@ -101,6 +101,37 @@ class TestResultStore:
         store.put(tiny_spec(), fake_result())
         assert not list(store.root.glob("*.tmp"))
 
+    def test_init_sweeps_stale_tmp_files(self, tmp_path):
+        # a SIGKILL between mkstemp and os.replace strands a .tmp file;
+        # reopening the store must collect it without touching records
+        import os
+        import time
+
+        store = ResultStore(tmp_path)
+        store.put(tiny_spec(), fake_result())
+        orphan = tmp_path / "tmpabc123.tmp"
+        orphan.write_text("half-written")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))  # orphans are old; live writers are ms
+        reopened = ResultStore(tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(reopened) == 1  # the completed record survived
+
+    def test_init_leaves_fresh_tmp_files_alone(self, tmp_path):
+        # a just-written .tmp may belong to a concurrent writer mid-put:
+        # deleting it would crash that writer's os.replace
+        ResultStore(tmp_path)
+        inflight = tmp_path / "tmplive.tmp"
+        inflight.write_text("concurrent writer")
+        ResultStore(tmp_path)
+        assert inflight.exists()
+
+    def test_summarize_results_rejects_mismatched_scenarios(self):
+        from repro.experiments.store import summarize_results
+
+        with pytest.raises(ValueError, match="parallel"):
+            summarize_results([fake_result()], scenarios=["a", "b"])
+
     def test_summarize_groups_and_averages_seeds(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(tiny_spec(seed=0), fake_result(seed=0, test_error=0.2))

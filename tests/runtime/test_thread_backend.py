@@ -126,6 +126,26 @@ def test_invalid_backend_options_rejected():
         ThreadBackend(timeout=0.0)
 
 
+def test_worker_failure_preserves_original_traceback(monkeypatch):
+    """A crash inside a worker thread must re-raise in the caller with the
+    failing thread's frames intact, not a bare one-frame re-raise."""
+    import traceback
+
+    from repro.core.worker import DistributedWorker
+
+    def exploding_forward(self):
+        raise ValueError("injected forward failure")
+
+    monkeypatch.setattr(DistributedWorker, "forward", exploding_forward)
+    cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=2, epochs=1, seed=0)
+    plan = ExperimentPlan.from_config(cfg)
+    with pytest.raises(ValueError, match="injected forward failure") as excinfo:
+        ThreadBackend(timeout=30.0).run(plan)
+    frames = {f.name for f in traceback.extract_tb(excinfo.value.__traceback__)}
+    assert "exploding_forward" in frames  # the crash site survived the hop
+    assert "_one_cycle" in frames  # and so did the worker-loop context
+
+
 class TestTransport:
     def test_mailbox_fifo(self):
         box = Mailbox()
@@ -137,10 +157,35 @@ class TestTransport:
 
     def test_mailbox_honours_delivery_deadline(self):
         box = Mailbox()
-        box.put(Shutdown(), not_before=time.monotonic() + 0.05)
+        box.put(PullRequest(0), not_before=time.monotonic() + 0.05)
         start = time.monotonic()
         box.get()
         assert time.monotonic() - start >= 0.04
+
+    def test_shutdown_cancels_pending_delivery_deadlines(self):
+        # a Shutdown queued behind a delay-stamped message must not wait
+        # out the emulated link delay: enqueueing it expedites everything
+        box = Mailbox()
+        box.put(PullRequest(0), not_before=time.monotonic() + 30.0)
+        box.put(Shutdown())
+        start = time.monotonic()
+        assert isinstance(box.get(), PullRequest)  # FIFO order kept
+        assert isinstance(box.get(), Shutdown)
+        assert time.monotonic() - start < 5.0
+
+    def test_shutdown_wakes_receiver_blocked_on_a_deadline(self):
+        import threading
+
+        box = Mailbox()
+        box.put(PullRequest(0), not_before=time.monotonic() + 30.0)
+        got = []
+        t = threading.Thread(target=lambda: got.append(box.get()))
+        t.start()
+        time.sleep(0.05)  # let the receiver block mid-deadline
+        box.put(Shutdown())
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert isinstance(got[0], PullRequest)
 
     def test_link_delay_scales_with_network(self):
         plan = ExperimentPlan.from_config(

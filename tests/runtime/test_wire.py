@@ -1,0 +1,173 @@
+"""Wire layer: every Message round-trips exactly; framing survives sockets."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.state import CompensationReply, GradientPayload, WorkerState
+from repro.runtime.messages import (
+    CombinedPush,
+    CompensationMessage,
+    GradientPush,
+    PullReply,
+    PullRequest,
+    Shutdown,
+    StatePush,
+)
+from repro.runtime import wire
+from repro.runtime.wire import (
+    ConnectionClosed,
+    FrameConnection,
+    WireError,
+    decode,
+    encode_control,
+    encode_message,
+)
+
+
+def _state(worker=1, bn_layers=2):
+    rng = np.random.default_rng(0)
+    bn = [
+        (rng.normal(size=4).astype(np.float32), rng.normal(size=4).astype(np.float32))
+        for _ in range(bn_layers)
+    ]
+    return WorkerState(
+        worker=worker, loss=0.731, bn_stats=bn, t_comm=0.01, t_comp=0.02, pull_version=5
+    )
+
+
+def _payload(worker=1, n=17):
+    grad = np.random.default_rng(3).normal(size=n)
+    return GradientPayload(worker=worker, grad=grad, pull_version=4, loss=0.9)
+
+
+def _messages():
+    weights = np.random.default_rng(1).normal(size=33).astype(np.float64)
+    reply = CompensationReply(worker=2, l_delay=0.61, predicted_step=3, sensitivity=0.25)
+    return [
+        PullRequest(0, sent_at=1.25),
+        PullReply(1, weights=weights, version=7, request_sent_at=0.5),
+        PullReply(1, weights=None, version=-1),  # barrier-queued shape
+        StatePush(1, state=_state()),
+        StatePush(2, state=_state(worker=2, bn_layers=0)),  # local-BN: no stats
+        CompensationMessage(2, reply=reply),
+        CompensationMessage(2, reply=None),  # non-LC algorithms reply nothing
+        GradientPush(1, payload=_payload()),
+        CombinedPush(3, state=_state(worker=3), payload=_payload(worker=3)),
+        Shutdown(),
+    ]
+
+
+def _assert_equal(original, decoded):
+    assert type(decoded) is type(original)
+    assert decoded.worker == original.worker
+    if isinstance(original, PullRequest):
+        assert decoded.sent_at == original.sent_at
+    if isinstance(original, PullReply):
+        assert decoded.version == original.version
+        assert decoded.request_sent_at == original.request_sent_at
+        if original.weights is None:
+            assert decoded.weights is None
+        else:  # float32 wire format: exact after the cast
+            np.testing.assert_array_equal(
+                decoded.weights, original.weights.astype(np.float32)
+            )
+    if isinstance(original, (StatePush, CombinedPush)):
+        a, b = original.state, decoded.state
+        assert (b.worker, b.pull_version) == (a.worker, a.pull_version)
+        assert b.loss == pytest.approx(a.loss)
+        assert (b.t_comm, b.t_comp) == (a.t_comm, a.t_comp)
+        assert len(b.bn_stats) == len(a.bn_stats)
+        for (m0, v0), (m1, v1) in zip(a.bn_stats, b.bn_stats):
+            np.testing.assert_array_equal(m1, m0.astype(np.float32))
+            np.testing.assert_array_equal(v1, v0.astype(np.float32))
+    if isinstance(original, (GradientPush, CombinedPush)):
+        a, b = original.payload, decoded.payload
+        assert (b.worker, b.pull_version) == (a.worker, a.pull_version)
+        assert b.loss == pytest.approx(a.loss)
+        assert b.grad.dtype == np.float64  # GradientPayload restores math dtype
+        np.testing.assert_array_equal(b.grad, a.grad.astype(np.float32))
+
+
+@pytest.mark.parametrize("message", _messages(), ids=lambda m: type(m).__name__)
+def test_every_message_type_round_trips(message):
+    decoded, delay = decode(encode_message(message, delay=0.125))
+    assert delay == 0.125
+    _assert_equal(message, decoded)
+
+
+def test_control_frames_round_trip():
+    doc = {"hello": 3, "token": "abc", "nested": {"x": [1, 2]}}
+    decoded, delay = decode(encode_control(doc))
+    assert decoded == doc and delay == 0.0
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(WireError):
+        decode(b"\x00")  # too short for a header length
+    with pytest.raises(WireError):
+        decode(b"\x00\x00\x00\xffgarbage")  # header length beyond frame
+    with pytest.raises(WireError):
+        decode(encode_message(PullRequest(0))[:-1] + b"")  # fine, full...
+    # wrong protocol version
+    bad = encode_control({"x": 1}).replace(b'"v":1', b'"v":9')
+    with pytest.raises(WireError, match="protocol"):
+        decode(bad)
+
+
+def test_decode_rejects_truncated_arrays():
+    frame = encode_message(GradientPush(0, payload=_payload(n=8)))
+    with pytest.raises(WireError, match="truncated"):
+        decode(frame[:-4])
+
+
+def test_encode_rejects_unknown_message():
+    class Rogue:
+        pass
+
+    with pytest.raises(WireError, match="no wire codec"):
+        encode_message(Rogue())
+
+
+def test_frame_connection_over_socketpair():
+    left, right = socket.socketpair()
+    a, b = FrameConnection(left), FrameConnection(right)
+    try:
+        sent = _messages()
+        # writer thread so large frames cannot deadlock the pair's buffers
+        writer = threading.Thread(
+            target=lambda: [a.send_message(m, delay=0.5) for m in sent]
+        )
+        writer.start()
+        for original in sent:
+            decoded, delay = b.recv()
+            assert delay == 0.5
+            _assert_equal(original, decoded)
+        writer.join(timeout=10.0)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_connection_eof_raises_connection_closed():
+    left, right = socket.socketpair()
+    a, b = FrameConnection(left), FrameConnection(right)
+    a.close()
+    with pytest.raises(ConnectionClosed):
+        b.read_frame()
+    b.close()
+
+
+def test_frame_length_cap_enforced(monkeypatch):
+    left, right = socket.socketpair()
+    a, b = FrameConnection(left), FrameConnection(right)
+    try:
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 16)
+        a.send_frame(b"x" * 64)
+        with pytest.raises(WireError, match="cap"):
+            b.read_frame()
+    finally:
+        a.close()
+        b.close()
