@@ -1,0 +1,74 @@
+"""Fleet executor: serial vs 2-agent fleet wall-clock on a sim grid.
+
+Not a paper artifact — the distribution layer's own benchmark.  Two
+:class:`~repro.fleet.agent.FleetAgent` daemons on loopback (the degenerate
+"cluster": both agents share this machine's cores, like ``--jobs 2`` with
+sockets in the path) run the same grid a :class:`SerialExecutor` runs
+in-process.  The table reports the fleet's wall-clock overhead-or-speedup
+and the per-cell protocol cost; the assertion is correctness, not speed —
+on a multi-core box the fleet should win anyway, but the *point* of the
+fleet is hosts this bench cannot simulate.
+"""
+
+import os
+import time
+
+from repro.bench import format_table
+from repro.core.config import TrainingConfig
+from repro.experiments import Campaign, Grid, SerialExecutor
+from repro.fleet import FleetAgent, FleetExecutor
+
+
+def _grid_specs():
+    def factory(**kwargs):
+        return TrainingConfig.tiny(num_workers=4, epochs=12, **kwargs)
+
+    return Grid(algorithm=["asgd", "lc-asgd"], seed=[0, 1]).specs(factory)
+
+
+def _measure(executor):
+    start = time.perf_counter()
+    report = Campaign(_grid_specs(), executor=executor).run()
+    return report, time.perf_counter() - start
+
+
+def test_fleet_executor_throughput(benchmark):
+    agents = [FleetAgent(port=0, slots=1).start(), FleetAgent(port=0, slots=1).start()]
+    try:
+        def run_both():
+            serial_report, serial_s = _measure(SerialExecutor())
+            fleet_report, fleet_s = _measure(
+                FleetExecutor([a.address for a in agents])
+            )
+            return serial_report, serial_s, fleet_report, fleet_s
+
+        serial_report, serial_s, fleet_report, fleet_s = benchmark.pedantic(
+            run_both, rounds=1, iterations=1
+        )
+    finally:
+        for agent in agents:
+            agent.close()
+
+    print()
+    print(format_table(
+        ["executor", "runs", "wall s", "speedup", "s/cell"],
+        [
+            ["serial", len(serial_report), f"{serial_s:.2f}", "1.00x",
+             f"{serial_s / len(serial_report):.2f}"],
+            ["fleet(2x1)", len(fleet_report), f"{fleet_s:.2f}",
+             f"{serial_s / fleet_s:.2f}x", f"{fleet_s / len(fleet_report):.2f}"],
+        ],
+        title="Fleet executor (4-run sim grid on 2 loopback agents)",
+    ))
+
+    # identical grids, identical (bit-reproducible sim) results: shipping
+    # cells through sockets must not change what the campaign computes
+    assert [r.final_test_error for r in serial_report.results] == [
+        r.final_test_error for r in fleet_report.results
+    ]
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    if cores and cores >= 2:
+        assert fleet_s < serial_s, (
+            f"2-agent fleet ({fleet_s:.2f}s) should beat serial ({serial_s:.2f}s) "
+            f"on {cores} cores"
+        )

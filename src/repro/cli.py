@@ -12,7 +12,12 @@ contains no training loops.
 * ``sweep`` — the full declarative grid: ``--algorithms`` ×
   ``--workers`` × ``--seeds``, optionally parallelized across processes
   (``--jobs``) and persisted/resumed through a result store (``--json DIR``).
-* ``report`` — summarize a result store as the paper-style table.
+* ``report`` — summarize a result store as the paper-style table,
+  optionally filtered (``--filter tag=... --filter algo=...``).
+* ``agent`` — run a fleet agent daemon; ``sweep --agents host:port,...``
+  farms grid cells out to a roster of them (see README "Fleet mode").
+* ``store merge`` — fold independently-collected result stores into one,
+  content-addressed-key-wise.
 * ``info`` — dump the resolved configuration as nested JSON.
 
 ``--backend`` selects the execution runtime: ``sim`` (deterministic
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import TrainingConfig
@@ -39,6 +45,7 @@ from repro.experiments import (
     Sweep,
     format_summary,
     make_executor,
+    parse_filters,
 )
 from repro.nn.registry import model_names
 from repro.runtime import available_backends
@@ -166,6 +173,11 @@ def _resolve_preset(args: argparse.Namespace) -> None:
 
 
 def _check_jobs(args: argparse.Namespace) -> None:
+    if getattr(args, "agents", None) and args.jobs > 1:
+        raise SystemExit(
+            "--agents and --jobs are different parallelism strategies: agents "
+            "already run cells concurrently on their own hosts (pick one)"
+        )
     if args.jobs > 1 and args.backend != "sim":
         raise SystemExit(
             "--jobs > 1 parallelizes across processes and only supports the sim "
@@ -227,10 +239,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="result-store directory: one JSON per run, keyed by spec hash; "
              "rerunning resumes from it",
     )
+    sweep_p.add_argument(
+        "--agents", metavar="HOST:PORT,...", default="",
+        help="run grid cells on these fleet agents (start them with "
+             "`repro agent`); dead agents are survived by requeueing",
+    )
+    sweep_p.add_argument(
+        "--agent-timeout", type=float, default=0.0, metavar="SECONDS",
+        help="declare an agent dead after this long without a frame "
+             "(default 10; must exceed the agents' --heartbeat interval)",
+    )
 
     rep_p = sub.add_parser("report", help="summarize a result-store directory")
     rep_p.add_argument("store", help="result-store directory written by sweep --json")
     rep_p.add_argument("--json", metavar="PATH", default=None, help="write summary rows as JSON")
+    rep_p.add_argument(
+        "--filter", action="append", default=[], metavar="NAME=VALUE",
+        help="keep only matching runs; repeatable (ANDed). NAME is 'tag', "
+             "'backend', or a config field (algo/algorithm, num_workers, "
+             "dataset, model, seed, ...)",
+    )
+
+    agent_p = sub.add_parser(
+        "agent", help="run a fleet agent daemon that executes sweep cells"
+    )
+    agent_p.add_argument("--bind", default="127.0.0.1:7463", metavar="HOST:PORT")
+    agent_p.add_argument("--slots", type=int, default=1)
+    agent_p.add_argument("--heartbeat", type=float, default=None)
+    agent_p.add_argument("--port-file", default=None, metavar="PATH")
+
+    store_p = sub.add_parser("store", help="result-store maintenance")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    merge_p = store_sub.add_parser(
+        "merge", help="fold source stores into a destination, key-wise"
+    )
+    merge_p.add_argument("dest", help="destination store directory (created if absent)")
+    merge_p.add_argument("sources", nargs="+", help="source store directories")
+    merge_p.add_argument(
+        "--overwrite", action="store_true",
+        help="on key collision prefer the source record (default keeps dest's)",
+    )
 
     info_p = sub.add_parser("info", help="describe the resolved configuration")
     info_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
@@ -238,6 +286,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.command == "agent":
+        return _cmd_agent(args)
+    if args.command == "store":
+        return _cmd_store_merge(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.deterministic and args.backend != "thread":
@@ -318,7 +370,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     store = ResultStore(args.json) if args.json else None
     report = Campaign(
         specs,
-        executor=make_executor(args.jobs),
+        executor=make_executor(
+            args.jobs, agents=args.agents, agent_timeout=args.agent_timeout
+        ),
         store=store,
         events=ConsoleEvents(verbose=args.verbose),
     ).run()
@@ -330,17 +384,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     if not Path(args.store).is_dir():  # report is read-only: never mkdir
         raise SystemExit(f"no result store at {args.store!r}")
+    try:
+        filters = parse_filters(args.filter) if args.filter else None
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     store = ResultStore(args.store)
-    rows = store.summarize()
+    rows = store.summarize(filters=filters)
     print(format_summary(rows))
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(rows, fh, indent=2)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    from repro.fleet.agent import serve
+
+    return serve(
+        args.bind, slots=args.slots, heartbeat=args.heartbeat, port_file=args.port_file
+    )
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    for source in args.sources:
+        if not Path(source).is_dir():
+            raise SystemExit(f"no result store at {source!r}")
+    dest = ResultStore(args.dest)
+    for source in args.sources:
+        report = dest.merge(ResultStore(source), overwrite=args.overwrite)
+        print(f"merge {source} -> {args.dest}: {report}")
+    print(f"store: {dest.root} ({len(dest)} record(s))")
     return 0
 
 

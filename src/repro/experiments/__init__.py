@@ -47,9 +47,12 @@ from repro.experiments.executors import (
 )
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import (
+    MergeReport,
     ResultStore,
     StoreRecord,
     format_summary,
+    parse_filters,
+    record_matches,
     summarize_results,
 )
 from repro.experiments.sweep import Grid, Sweep
@@ -68,8 +71,11 @@ __all__ = [
     "ExperimentSpec",
     "ResultStore",
     "StoreRecord",
+    "MergeReport",
     "summarize_results",
     "format_summary",
+    "parse_filters",
+    "record_matches",
     "Grid",
     "Sweep",
 ]

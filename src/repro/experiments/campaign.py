@@ -122,6 +122,13 @@ class Campaign:
         # prefix instead of losing the whole batch
         for index, spec, result in self.executor.run(pending, total, self.events):
             key = spec.key()
+            if slots[index] is not None:
+                # a retrying executor (fleet requeue) must dedupe before
+                # yielding; catching it here keeps a buggy one from
+                # silently double-counting a cell in events and the store
+                raise RuntimeError(
+                    f"executor {self.executor.name!r} yielded cell {index} twice"
+                )
             if self.store is not None:
                 self.store.put(spec, result)
             slots[index] = CampaignRun(spec=spec, key=key, result=result, cached=False)

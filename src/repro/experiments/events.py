@@ -36,6 +36,10 @@ class CampaignEvents:
     ) -> None:
         """Called when ``spec`` has a result; ``cached`` means store hit."""
 
+    def on_note(self, message: str) -> None:
+        """Executor-level happenings that aren't tied to one run — the
+        fleet scheduler reports agent roster, deaths and requeues here."""
+
     def on_campaign_end(self, result) -> None:
         """Called once with the finished CampaignResult."""
 
@@ -80,3 +84,6 @@ class ConsoleEvents(CampaignEvents):
             f"[{index + 1}/{total}] {source}: {spec.label()} "
             f"-> test error {result.final_test_error:.2%}"
         )
+
+    def on_note(self, message: str) -> None:
+        self._emit(message)

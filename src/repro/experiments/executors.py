@@ -1,6 +1,9 @@
 """Campaign executors: how a batch of specs actually gets run.
 
-Two strategies behind one protocol:
+Strategies behind one protocol (plus the multi-host
+:class:`~repro.fleet.scheduler.FleetExecutor`, which lives in
+:mod:`repro.fleet` and implements the same ``run(jobs, total, events)``
+generator contract):
 
 * :class:`SerialExecutor` — in-process, one spec at a time.  Fully
   deterministic ordering, and the only executor that can stream
@@ -154,8 +157,22 @@ class MultiprocessExecutor(Executor):
                     yield index, spec, result
 
 
-def make_executor(jobs: int = 1) -> Executor:
-    """The CLI's ``--jobs N`` rule: 1 -> serial, >1 -> pool of N."""
+def make_executor(jobs: int = 1, agents: str = "", agent_timeout: float = 0.0) -> Executor:
+    """The CLI's executor rule: ``--agents`` -> fleet, ``--jobs N`` -> pool.
+
+    ``agents`` is a ``"host:port,host:port"`` roster; when given it wins
+    (and combining it with ``--jobs > 1`` is a caller error the CLI
+    rejects before getting here).  ``agent_timeout`` overrides the
+    scheduler's liveness window — it must exceed the agents' heartbeat
+    interval (``repro agent --heartbeat``), so raise both together.
+    Imported lazily: the fleet scheduler builds on this module, not the
+    other way around.
+    """
+    if agents:
+        from repro.fleet.scheduler import FleetExecutor
+
+        options = {"heartbeat_timeout": agent_timeout} if agent_timeout else {}
+        return FleetExecutor(agents=[agents], **options)
     if jobs <= 1:
         return SerialExecutor()
     return MultiprocessExecutor(processes=jobs)

@@ -60,6 +60,31 @@ class ExperimentSpec:
         payload["key"] = self.key()
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict` — how a spec crosses process/host
+        boundaries (the fleet protocol ships specs as these documents).
+
+        If the payload carries a ``key``, the rebuilt spec must re-derive
+        the same one: a mismatch means the sender and receiver disagree
+        about what the spec *is* (schema skew), and silently running the
+        wrong experiment under a cached key would poison every store the
+        result lands in.
+        """
+        spec = cls(
+            config=TrainingConfig.from_dict(payload["config"]),
+            backend=payload.get("backend", "sim"),
+            backend_options=dict(payload.get("backend_options", {})),
+            tags=tuple(payload.get("tags", ())),
+        )
+        expected = payload.get("key")
+        if expected is not None and spec.key() != expected:
+            raise ValueError(
+                f"spec key mismatch after round-trip: sender says {expected!r}, "
+                f"rebuilt spec hashes to {spec.key()!r} (schema skew?)"
+            )
+        return spec
+
     def label(self) -> str:
         """Short human-readable handle for progress lines and tables."""
         cfg = self.config

@@ -56,6 +56,21 @@ class StoreRecord:
     result: RunResult
 
 
+@dataclass(frozen=True)
+class MergeReport:
+    """What a :meth:`ResultStore.merge` actually did, key by key."""
+
+    copied: Tuple[str, ...]  # only in the source: now here too
+    skipped: Tuple[str, ...]  # key collision, existing record kept
+    replaced: Tuple[str, ...]  # key collision, source record won (overwrite)
+
+    def __str__(self) -> str:
+        return (
+            f"{len(self.copied)} copied, {len(self.skipped)} skipped, "
+            f"{len(self.replaced)} replaced"
+        )
+
+
 class ResultStore:
     """A directory of ``<key>.json`` run records."""
 
@@ -144,13 +159,118 @@ class ResultStore:
         )
 
     # ------------------------------------------------------------------ #
-    def summarize(self) -> List[Dict[str, Any]]:
-        """Paper-style aggregate rows over everything in the store."""
-        records = list(self.records())
+    def merge(self, other: "ResultStore", overwrite: bool = False) -> "MergeReport":
+        """Fold another store's records into this one, key-wise.
+
+        This is how independently-collected fleet stores combine: keys are
+        content-addressed, so a record only in ``other`` is simply copied,
+        and a key present in both names the *same experiment* — the
+        results may differ in nondeterministic detail (wall time, real
+        staleness), never in identity.  Collisions keep the existing
+        record unless ``overwrite`` is set; either way the report says
+        exactly what happened so callers can audit a merge.
+
+        Every source record is parsed before it is copied — a truncated
+        or hand-mangled file fails the merge instead of poisoning the
+        destination — and copies are atomic (temp file + rename), same as
+        :meth:`put`.
+        """
+        copied: List[str] = []
+        skipped: List[str] = []
+        replaced: List[str] = []
+        for key in other.keys():
+            source = other.path_for(key)
+            other._load(source)  # validate before it can land here
+            if key in self:
+                if not overwrite:
+                    skipped.append(key)
+                    continue
+                replaced.append(key)
+            else:
+                copied.append(key)
+            payload = source.read_bytes()
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        return MergeReport(
+            copied=tuple(copied), skipped=tuple(skipped), replaced=tuple(replaced)
+        )
+
+    # ------------------------------------------------------------------ #
+    def summarize(
+        self, filters: Optional[Dict[str, str]] = None
+    ) -> List[Dict[str, Any]]:
+        """Paper-style aggregate rows over the store, optionally filtered.
+
+        ``filters`` uses the :func:`record_matches` vocabulary (the CLI's
+        ``report --filter tag=... --filter algo=...``).
+        """
+        records = [
+            r for r in self.records() if filters is None or record_matches(r, filters)
+        ]
         return summarize_results(
             [r.result for r in records],
             scenarios=[scenario_label(r.spec.get("config", {})) for r in records],
         )
+
+
+# ---------------------------------------------------------------------- #
+# record filtering (the CLI's ``report --filter``)
+# ---------------------------------------------------------------------- #
+#: filter-name aliases: short CLI spellings -> the field they mean
+FILTER_ALIASES = {"algo": "algorithm", "workers": "num_workers"}
+
+
+def parse_filters(items: Sequence[str]) -> Dict[str, str]:
+    """``["tag=sweep", "algo=lc-asgd"]`` -> {"tag": "sweep", "algorithm": ...}.
+
+    Repeated ``--filter`` flags AND together; repeating the same *name*
+    raises (two values for one field can never both match, and silently
+    keeping the last one would hide a typo'd query).
+    """
+    filters: Dict[str, str] = {}
+    for item in items:
+        name, sep, value = str(item).partition("=")
+        name = name.strip()
+        if not sep or not name or not value.strip():
+            raise ValueError(f"filter {item!r} is not name=value")
+        name = FILTER_ALIASES.get(name, name)
+        if name in filters:
+            raise ValueError(f"filter {name!r} given twice")
+        filters[name] = value.strip()
+    return filters
+
+
+def record_matches(record: StoreRecord, filters: Dict[str, str]) -> bool:
+    """Does one record satisfy every filter?
+
+    ``tag`` matches membership in the spec's tag list; ``backend`` matches
+    the spec's backend; every other name looks up the spec's *config*
+    document (``algorithm``, ``num_workers``, ``dataset``, ``model``,
+    ``seed``, ``epochs``, ...) and compares stringified values, so
+    ``num_workers=4`` works without the caller knowing field types.
+    Filtering on a field the config doesn't have matches nothing rather
+    than raising — stores legitimately mix schema versions.
+    """
+    spec = record.spec
+    config = spec.get("config", {})
+    for name, value in filters.items():
+        if name == "tag":
+            if value not in [str(t) for t in spec.get("tags", [])]:
+                return False
+        elif name == "backend":
+            if str(spec.get("backend", "")) != value:
+                return False
+        else:
+            if name not in config or str(config[name]) != value:
+                return False
+    return True
 
 
 # ---------------------------------------------------------------------- #

@@ -25,12 +25,33 @@ with ``algorithm="sgd"``: config normalization pins sgd configs to one
 worker at construction, so every derived spec would inherit
 ``num_workers=1``.  Use a factory (or a non-sgd base) and let each point
 resolve its own worker count.
+
+Axes can be conditional.  A per-axis guard expands a field only where it
+matters, and a grid-level predicate prunes whole points::
+
+    >>> grid = (Sweep("algorithm", ["asgd", "lc-asgd"])
+    ...         * Sweep("lc_lambda", [0.3, 0.7],
+    ...                 when=lambda p: p["algorithm"] == "lc-asgd"))
+    >>> len(grid)   # 1 asgd point + 2 lc-asgd points, not 4
+    3
+    >>> len(grid.when(lambda p: p["algorithm"] != "asgd"))
+    2
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import TrainingConfig
 from repro.experiments.spec import ExperimentSpec
@@ -39,14 +60,32 @@ from repro.experiments.spec import ExperimentSpec
 ConfigBase = Union[TrainingConfig, Callable[..., TrainingConfig]]
 
 
-class Sweep:
-    """One named axis: a config field and the values it takes."""
+#: an axis guard: receives the point built from the *earlier* axes and
+#: says whether this axis applies to it
+AxisGuard = Callable[[Dict[str, Any]], bool]
 
-    def __init__(self, name: str, values: Iterable[Any]) -> None:
+
+class Sweep:
+    """One named axis: a config field and the values it takes.
+
+    ``when`` makes the axis conditional: for each point built from the
+    axes declared *before* this one, the guard decides whether the axis
+    expands.  Where it returns False the point passes through once with
+    the field unset (the base config's default applies), so e.g.
+    ``Sweep("lc_lambda", [0.3, 0.7], when=lambda p: p["algorithm"] ==
+    "lc-asgd")`` sweeps the lambda only for lc-asgd cells instead of
+    minting redundant asgd specs that differ in a field asgd never reads.
+    Guards only see earlier axes — declare the axes they depend on first.
+    """
+
+    def __init__(
+        self, name: str, values: Iterable[Any], when: Optional[AxisGuard] = None
+    ) -> None:
         if not name:
             raise ValueError("sweep axis name must be non-empty")
         self.name = name
         self.values: Tuple[Any, ...] = tuple(values)
+        self.when = when
         if not self.values:
             raise ValueError(f"sweep axis {name!r} has no values")
 
@@ -57,7 +96,8 @@ class Sweep:
         return len(self.values)
 
     def __repr__(self) -> str:
-        return f"Sweep({self.name!r}, {list(self.values)!r})"
+        guard = ", when=..." if self.when is not None else ""
+        return f"Sweep({self.name!r}, {list(self.values)!r}{guard})"
 
 
 class Grid:
@@ -70,7 +110,8 @@ class Grid:
     """
 
     def __init__(self, **axes: Iterable[Any]) -> None:
-        self._axes: Dict[str, Tuple[Any, ...]] = {}
+        self._axes: Dict[str, Sweep] = {}
+        self._filters: Tuple[AxisGuard, ...] = ()
         for name, values in axes.items():
             self._merge_axis(Sweep(name, values))
 
@@ -85,38 +126,74 @@ class Grid:
     def _merge_axis(self, sweep: Sweep) -> None:
         if sweep.name in self._axes:
             raise ValueError(f"duplicate sweep axis {sweep.name!r}")
-        self._axes[sweep.name] = sweep.values
+        self._axes[sweep.name] = sweep
 
     # ------------------------------------------------------------------ #
     def __mul__(self, other: Union[Sweep, "Grid"]) -> "Grid":
         merged = Grid()
-        for name, values in self._axes.items():
-            merged._merge_axis(Sweep(name, values))
+        merged._filters = self._filters
+        for sweep in self._axes.values():
+            merged._merge_axis(sweep)
         if isinstance(other, Sweep):
             merged._merge_axis(other)
         elif isinstance(other, Grid):
-            for name, values in other._axes.items():
-                merged._merge_axis(Sweep(name, values))
+            for sweep in other._axes.values():
+                merged._merge_axis(sweep)
+            merged._filters = merged._filters + other._filters
         else:
             return NotImplemented
         return merged
 
+    def when(self, predicate: AxisGuard) -> "Grid":
+        """A copy keeping only the points ``predicate`` accepts.
+
+        Unlike a per-axis ``when=`` guard (which suppresses a field before
+        it exists), this filters *complete* points — use it for
+        cross-axis constraints like "skip M=16 for sgd".  Predicates
+        stack: each :meth:`when` call ANDs another one on.
+        """
+        filtered = Grid()
+        for sweep in self._axes.values():
+            filtered._merge_axis(sweep)
+        filtered._filters = self._filters + (predicate,)
+        return filtered
+
     @property
     def axes(self) -> Mapping[str, Tuple[Any, ...]]:
         """The axis mapping (name -> values), in declaration order."""
-        return dict(self._axes)
+        return {name: sweep.values for name, sweep in self._axes.items()}
 
     def __len__(self) -> int:
+        if self._filters or any(s.when is not None for s in self._axes.values()):
+            return len(self.points())  # conditional grids have no closed form
         n = 1
-        for values in self._axes.values():
-            n *= len(values)
+        for sweep in self._axes.values():
+            n *= len(sweep.values)
         return n
 
     def points(self) -> List[Dict[str, Any]]:
-        """Every coordinate of the grid as a {field: value} dict."""
-        names = list(self._axes)
-        combos = itertools.product(*(self._axes[n] for n in names))
-        return [dict(zip(names, combo)) for combo in combos]
+        """Every coordinate of the grid as a {field: value} dict.
+
+        Axes expand in declaration order, rightmost-fastest.  A guarded
+        axis consults its ``when`` against the point built so far (earlier
+        axes only) and contributes nothing where the guard rejects; grid-
+        level :meth:`when` predicates then filter the finished points.
+        """
+        points: List[Dict[str, Any]] = [{}]
+        for sweep in self._axes.values():
+            expanded: List[Dict[str, Any]] = []
+            for point in points:
+                if sweep.when is not None and not sweep.when(point):
+                    expanded.append(dict(point))  # axis absent: base default
+                else:
+                    for value in sweep.values:
+                        grown = dict(point)
+                        grown[sweep.name] = value
+                        expanded.append(grown)
+            points = expanded
+        for predicate in self._filters:
+            points = [p for p in points if predicate(p)]
+        return points
 
     def configs(self, base: ConfigBase) -> List[TrainingConfig]:
         """One TrainingConfig per point, built from ``base``."""
@@ -143,5 +220,6 @@ class Grid:
         ]
 
     def __repr__(self) -> str:
-        axes = ", ".join(f"{n}={list(v)!r}" for n, v in self._axes.items())
-        return f"Grid({axes})"
+        axes = ", ".join(f"{n}={list(s.values)!r}" for n, s in self._axes.items())
+        guards = f" (+{len(self._filters)} filter(s))" if self._filters else ""
+        return f"Grid({axes}){guards}"

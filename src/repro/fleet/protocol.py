@@ -1,0 +1,168 @@
+"""Fleet control-frame vocabulary: how a scheduler and an agent talk.
+
+Every fleet frame is a :func:`repro.runtime.wire.encode_control` JSON
+document riding the same length-prefixed :class:`~repro.runtime.wire.
+FrameConnection` framing the proc backend's handshake uses — pickle-free
+by construction, version-checked at both layers (the wire header carries
+``PROTOCOL_VERSION``; fleet frames additionally carry ``FLEET_VERSION``
+so a scheduler never feeds jobs to an agent speaking a different job
+schema).  The frame types::
+
+    scheduler -> agent   hello                       open the session
+    agent -> scheduler   welcome {slots, agent}      capacity announcement
+    scheduler -> agent   job {id, spec}              one ExperimentSpec cell
+    agent -> scheduler   curve_point {id, point}     streamed evaluation
+    agent -> scheduler   result {id, result}         the finished RunResult
+    agent -> scheduler   job_error {id, error, tb}   the cell itself raised
+    agent -> scheduler   heartbeat {n}               liveness pulse
+    agent -> scheduler   busy {}                     already serving a peer
+
+Specs travel as their :meth:`~repro.experiments.spec.ExperimentSpec.
+to_dict` document and are rebuilt with :meth:`ExperimentSpec.from_dict`,
+which re-derives the content key and refuses a mismatch — a version-skewed
+agent cannot silently run a different experiment than the key it reports.
+
+This module owns only the vocabulary (builders + a validating parser);
+socket handling lives in :mod:`repro.fleet.agent` and
+:mod:`repro.fleet.scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.metrics import RunResult
+from repro.experiments.spec import ExperimentSpec
+
+#: bumped whenever the fleet frame schema changes incompatibly; hello and
+#: welcome both carry it and either side refuses a mismatch
+FLEET_VERSION = 1
+
+#: every fleet frame names its type under this key
+KIND_KEY = "fleet"
+
+
+class FleetProtocolError(RuntimeError):
+    """A peer sent a frame outside the fleet vocabulary (or a bad version)."""
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so a doc survives json.dumps.
+
+    Control frames are encoded with a strict ``json.dumps`` (no default
+    hook), but ``RunResult.to_dict`` may carry numpy float64 staleness
+    statistics — sanitize at the protocol boundary, once.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# frame builders
+# ---------------------------------------------------------------------- #
+def hello_frame() -> Dict[str, Any]:
+    return {KIND_KEY: "hello", "v": FLEET_VERSION}
+
+
+def welcome_frame(slots: int, agent: str) -> Dict[str, Any]:
+    return {KIND_KEY: "welcome", "v": FLEET_VERSION, "slots": int(slots), "agent": agent}
+
+
+def busy_frame(agent: str) -> Dict[str, Any]:
+    return {KIND_KEY: "busy", "v": FLEET_VERSION, "agent": agent}
+
+
+def job_frame(job_id: str, spec: ExperimentSpec) -> Dict[str, Any]:
+    return {KIND_KEY: "job", "id": str(job_id), "spec": to_jsonable(spec.to_dict())}
+
+
+def curve_point_frame(job_id: str, point) -> Dict[str, Any]:
+    return {KIND_KEY: "curve_point", "id": str(job_id), "point": to_jsonable(point.to_dict())}
+
+
+def result_frame(job_id: str, result: RunResult) -> Dict[str, Any]:
+    return {KIND_KEY: "result", "id": str(job_id), "result": to_jsonable(result.to_dict())}
+
+
+def job_error_frame(job_id: str, error: str, tb: str = "") -> Dict[str, Any]:
+    return {KIND_KEY: "job_error", "id": str(job_id), "error": str(error), "traceback": tb}
+
+
+def heartbeat_frame(n: int) -> Dict[str, Any]:
+    return {KIND_KEY: "heartbeat", "n": int(n)}
+
+
+# ---------------------------------------------------------------------- #
+# validating parser
+# ---------------------------------------------------------------------- #
+def parse_frame(doc: Any) -> Tuple[str, Dict[str, Any]]:
+    """Classify one control document as ``(kind, doc)``; junk raises.
+
+    Only structural validation happens here (it is a frame of a known
+    type with the fields that type requires); semantic checks — unknown
+    job ids, key mismatches — belong to the caller.
+    """
+    if not isinstance(doc, dict) or KIND_KEY not in doc:
+        raise FleetProtocolError(f"not a fleet frame: {doc!r}")
+    kind = doc[KIND_KEY]
+    if kind in ("hello", "welcome", "busy"):
+        version = doc.get("v")
+        if version != FLEET_VERSION:
+            raise FleetProtocolError(
+                f"fleet protocol mismatch: peer speaks v{version}, we speak v{FLEET_VERSION}"
+            )
+        if kind == "welcome" and int(doc.get("slots", 0)) < 1:
+            raise FleetProtocolError(f"welcome without usable slots: {doc!r}")
+        return kind, doc
+    if kind == "job":
+        if not isinstance(doc.get("id"), str) or not isinstance(doc.get("spec"), dict):
+            raise FleetProtocolError(f"malformed job frame: {doc!r}")
+        return kind, doc
+    if kind in ("curve_point", "result", "job_error"):
+        if not isinstance(doc.get("id"), str):
+            raise FleetProtocolError(f"{kind} frame without a job id: {doc!r}")
+        payload_key = {"curve_point": "point", "result": "result", "job_error": "error"}[kind]
+        if payload_key not in doc:
+            raise FleetProtocolError(f"{kind} frame without {payload_key!r}: {doc!r}")
+        return kind, doc
+    if kind == "heartbeat":
+        return kind, doc
+    raise FleetProtocolError(f"unknown fleet frame kind {kind!r}")
+
+
+def decode_spec(doc: Dict[str, Any]) -> ExperimentSpec:
+    """Rebuild the spec a job frame carries (key-verified)."""
+    return ExperimentSpec.from_dict(doc["spec"])
+
+
+def decode_result(doc: Dict[str, Any]) -> RunResult:
+    """Rebuild the RunResult a result frame carries."""
+    return RunResult.from_dict(doc["result"])
+
+
+def parse_agent_addrs(raw: str) -> List[Tuple[str, int]]:
+    """``"host:port,host:port"`` -> [(host, port), ...] (CLI --agents)."""
+    addrs: List[Tuple[str, int]] = []
+    for item in str(raw).split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, sep, port = item.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"agent address {item!r} is not host:port")
+        try:
+            addrs.append((host, int(port)))
+        except ValueError:
+            raise ValueError(f"agent address {item!r} has a non-integer port")
+    if not addrs:
+        raise ValueError("no agent addresses given")
+    return addrs

@@ -80,6 +80,22 @@ class CombinedPush(Message):
 
 
 @dataclass(frozen=True)
+class BnStatsPush(Message):
+    """Worker -> parent at shutdown: the replica's BN *running* statistics.
+
+    Only the proc backend uses this, and only under ``bn_mode="local"``:
+    evaluation borrows worker 0's running statistics, which live in a
+    child's address space there.  The child streams them once, right
+    after it receives Shutdown, so the parent can install them into the
+    eval model before the final evaluation.  ``stats`` is one
+    ``(running_mean, running_var)`` pair per BN layer, in
+    :func:`~repro.nn.norm.bn_layers` order.
+    """
+
+    stats: tuple = ()
+
+
+@dataclass(frozen=True)
 class Shutdown(Message):
     """Either direction: unblock the receiver and end its loop."""
 

@@ -26,10 +26,12 @@ code are both watched — and every child is reaped (terminate, then kill)
 before ``run`` returns, so a crashed run can never leave orphan processes
 or a hung parent behind.
 
-Limitation: ``bn_mode="local"`` evaluation borrows worker 0's running BN
-statistics, which live in a child's address space here; configs that need
-it (models with BN layers) are rejected up front — use ``sim``/``thread``
-or a synchronized ``bn_mode``.
+``bn_mode="local"`` evaluation borrows worker 0's running BN statistics,
+which live in a child's address space here; the child streams them back
+at shutdown (:class:`~repro.runtime.messages.BnStatsPush`) and the final
+evaluation installs them.  Mid-run curve points in this mode use the
+parent eval model's own (initial) running statistics — if you need a
+faithful local-BN *curve*, use the sim or thread backend.
 """
 
 from __future__ import annotations
@@ -45,8 +47,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cluster.network import NetworkModel
 from repro.core.metrics import RunResult
-from repro.nn.norm import bn_layers
-from repro.runtime.messages import Message, Shutdown
+from repro.nn.norm import bn_layers, load_bn_running_stats
+from repro.runtime.messages import BnStatsPush, Message, Shutdown
 from repro.runtime.server_actor import RunControl, server_actor_loop
 from repro.runtime.session import ExperimentPlan, ExperimentSession
 from repro.runtime.transport import Mailbox
@@ -98,6 +100,9 @@ class SocketTransport:
         self._closed = threading.Event()
         #: called as (worker, exception) when a link dies mid-run
         self.on_worker_failure: Optional[Callable[[int, Exception], None]] = None
+        #: worker -> BN running stats streamed at shutdown (bn_mode="local")
+        self.bn_stats: Dict[int, tuple] = {}
+        self.bn_stats_ready = threading.Event()
 
     # ------------------------------------------------------------------ #
     def attach(self, worker: int, conn: FrameConnection) -> None:
@@ -122,6 +127,12 @@ class SocketTransport:
                     raise WireError(
                         f"worker {worker} sent a control frame mid-run: {message!r}"
                     )
+                if isinstance(message, BnStatsPush):
+                    # shutdown-time sideband, not Algorithm-2 traffic: the
+                    # server actor has already drained by the time it lands
+                    self.bn_stats[worker] = message.stats
+                    self.bn_stats_ready.set()
+                    continue
                 self.server_inbox.put(message)
         except Exception as exc:
             # broad on purpose: any escape (EOF, garbled frame, a decode
@@ -224,12 +235,12 @@ class ProcBackend:
     def run(self, plan: ExperimentPlan) -> RunResult:
         """Run the plan on real worker processes and return its RunResult."""
         config = plan.config
-        if config.bn_mode == "local" and bn_layers(plan.eval_model):
-            raise ValueError(
-                "proc backend cannot evaluate bn_mode='local': worker 0's "
-                "running BN statistics live in a child process; use the sim "
-                "or thread backend, or a synchronized bn_mode"
-            )
+        # bn_mode="local" evaluation borrows worker 0's running BN stats,
+        # which live in a child here: the child streams them back at
+        # shutdown (BnStatsPush) and the final evaluation below uses them.
+        # Mid-run curve points see the eval model's own (initial) running
+        # stats — only the final point is faithful in this mode.
+        needs_local_bn = config.bn_mode == "local" and bool(bn_layers(plan.eval_model))
         session = ExperimentSession(plan)
         num_workers = config.num_workers
         transport = SocketTransport(
@@ -287,6 +298,16 @@ class ProcBackend:
             if server_thread.is_alive():
                 raise RuntimeError("proc backend failed to join its server actor")
 
+            if needs_local_bn:
+                # children have exited (reaped above), so the stats frame is
+                # at worst still in the reader thread's hands — wait for it
+                if not transport.bn_stats_ready.wait(timeout=30.0) or 0 not in transport.bn_stats:
+                    raise RuntimeError(
+                        "bn_mode='local': worker child 0 exited without "
+                        "streaming its BN running statistics"
+                    )
+                load_bn_running_stats(plan.eval_model, list(transport.bn_stats[0]))
+                session.record_point(elapsed)  # the one faithful local-BN point
             session.ensure_final_eval(elapsed)
             logger.info(
                 "proc backend finished: algo=%s M=%d updates=%d wall=%.2fs",

@@ -17,6 +17,9 @@ never by hand.  The child:
    and compute (``compute_scale``) delays locally;
 4. exits 0 on :class:`~repro.runtime.messages.Shutdown` (or on parent
    EOF — an orphaned child never lingers), nonzero on any failure.
+   Under ``bn_mode="local"`` worker 0 first streams its BN running
+   statistics back (:class:`~repro.runtime.messages.BnStatsPush`) so the
+   parent can evaluate with them.
 
 Fault injection (tests only): ``REPRO_PROC_CRASH_WORKER`` /
 ``REPRO_PROC_CRASH_AFTER`` make the named worker die mid-run with
@@ -35,8 +38,10 @@ import traceback
 from typing import List, Optional
 
 from repro.core.config import TrainingConfig
+from repro.nn.norm import bn_layers
 from repro.runtime.proc_backend import TOKEN_ENV
 from repro.runtime.messages import (
+    BnStatsPush,
     CombinedPush,
     GradientPush,
     Message,
@@ -161,6 +166,29 @@ def run_worker(channel: WorkerChannel, runtime: WorkerRuntime, compute_scale: fl
         cycles += 1
 
 
+def _stream_local_bn_stats(conn: FrameConnection, runtime: WorkerRuntime) -> None:
+    """After Shutdown: ship worker 0's BN running statistics to the parent.
+
+    Under ``bn_mode="local"`` evaluation borrows worker 0's running
+    statistics, which live here, in the child.  Streaming them once at
+    shutdown is what lets the proc backend evaluate local-BN configs at
+    all (it used to reject them up front).  A vanished parent just means
+    nobody is evaluating — exit quietly.
+    """
+    if runtime.worker_id != 0 or runtime.config.bn_mode != "local":
+        return
+    layers = bn_layers(runtime.worker.model)
+    if not layers:
+        return
+    stats = tuple(
+        (layer.running_mean.copy(), layer.running_var.copy()) for layer in layers
+    )
+    try:
+        conn.send_message(BnStatsPush(0, stats=stats))
+    except (OSError, WireError):
+        pass
+
+
 def _crash_after(worker_id: int) -> Optional[int]:
     """Cycle count after which this worker should fake a crash, if any."""
     target = os.environ.get(CRASH_WORKER_ENV)
@@ -214,6 +242,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             time_scale=time_scale,
         )
         run_worker(channel, runtime, compute_scale)
+        _stream_local_bn_stats(conn, runtime)
         return 0
     except (ConnectionClosed, BrokenPipeError, ConnectionResetError):
         # the parent vanished (crash or SIGKILL): exit quietly, never linger

@@ -424,10 +424,22 @@ class ExperimentSession:
             point.test_error,
         )
 
+    def record_point(self, now: float) -> CurvePoint:
+        """Evaluate immediately and append the point to the curve.
+
+        Backends use this for out-of-band snapshots — e.g. the proc
+        backend's final local-BN evaluation after worker 0's running
+        statistics arrive — without going through the epoch-cadence
+        logic of :meth:`maybe_evaluate`.
+        """
+        point = self.evaluate(now)
+        self._record_point(point)
+        return point
+
     def ensure_final_eval(self, now: float) -> None:
         """Guarantee at least one curve point (degenerate short runs)."""
         if not self.curve:
-            self._record_point(self.evaluate(now))
+            self.record_point(now)
 
     def _record_point(self, point: CurvePoint) -> None:
         """Append to the curve and notify the plan's observer, if any."""

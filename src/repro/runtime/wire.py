@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.state import CompensationReply, GradientPayload, WorkerState
 from repro.runtime.messages import (
+    BnStatsPush,
     CombinedPush,
     CompensationMessage,
     GradientPush,
@@ -255,6 +256,20 @@ def _dec_shutdown(fields, arrays):
     return Shutdown(int(fields["worker"]))
 
 
+def _enc_bn_stats(msg: BnStatsPush):
+    arrays: List[np.ndarray] = []
+    for mean, var in msg.stats:
+        arrays.append(_wire_array(mean))
+        arrays.append(_wire_array(var))
+    return {"worker": msg.worker, "bn_layers": len(msg.stats)}, arrays
+
+
+def _dec_bn_stats(fields, arrays):
+    layers = int(fields["bn_layers"])
+    stats = tuple((arrays[2 * i], arrays[2 * i + 1]) for i in range(layers))
+    return BnStatsPush(int(fields["worker"]), stats=stats)
+
+
 _CODECS = {
     "PullRequest": (PullRequest, _enc_pull_request, _dec_pull_request),
     "PullReply": (PullReply, _enc_pull_reply, _dec_pull_reply),
@@ -263,6 +278,7 @@ _CODECS = {
     "GradientPush": (GradientPush, _enc_gradient_push, _dec_gradient_push),
     "CombinedPush": (CombinedPush, _enc_combined_push, _dec_combined_push),
     "Shutdown": (Shutdown, _enc_shutdown, _dec_shutdown),
+    "BnStatsPush": (BnStatsPush, _enc_bn_stats, _dec_bn_stats),
 }
 _ENCODERS = {cls: (kind, enc) for kind, (cls, enc, _) in _CODECS.items()}
 

@@ -91,6 +91,88 @@ def test_sweep_through_proc_backend_persists_and_resumes(tmp_path, capsys):
     assert all(json.loads(p.read_text())["spec"]["backend"] == "proc" for p in records)
 
 
+def test_sweep_through_fleet_agents(tmp_path, capsys):
+    """`sweep --agents host:port,host:port` runs the grid on fleet daemons
+    and lands in the same resumable store as any other executor."""
+    from repro.fleet import FleetAgent
+
+    agents = [FleetAgent(port=0, slots=1).start(), FleetAgent(port=0, slots=1).start()]
+    roster = ",".join(f"{h}:{p}" for h, p in (a.address for a in agents))
+    store_dir = str(tmp_path / "out")
+    argv = [
+        "sweep", "--preset", "spirals", "--algorithms", "asgd",
+        "--workers", "2", "--seeds", "2", "--epochs", "1", "--seed", "0",
+        "--agents", roster, "--json", store_dir,
+    ]
+    try:
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out and "running" in out
+
+        assert cli_main(argv) == 0  # resumes entirely from the store
+        assert "running" not in capsys.readouterr().out
+    finally:
+        for agent in agents:
+            agent.close()
+    records = sorted(__import__("pathlib").Path(store_dir).glob("*.json"))
+    assert len(records) == 2
+
+
+def test_sweep_rejects_agents_plus_jobs():
+    import pytest
+
+    with pytest.raises(SystemExit, match="different parallelism"):
+        cli_main(["sweep", "--agents", "127.0.0.1:1", "--jobs", "2"])
+
+
+def test_report_filter_narrows_rows(tmp_path, capsys):
+    store_dir = str(tmp_path / "out")
+    cli_main([
+        "sweep", "--preset", "tiny", "--algorithms", "sgd,asgd",
+        "--workers", "2", "--seeds", "1", "--epochs", "1", "--json", store_dir,
+    ])
+    capsys.readouterr()
+
+    rows_path = tmp_path / "rows.json"
+    assert cli_main([
+        "report", store_dir, "--filter", "algo=asgd", "--json", str(rows_path),
+    ]) == 0
+    rows = json.loads(rows_path.read_text())
+    assert [row["algorithm"] for row in rows] == ["asgd"]
+
+    assert cli_main(["report", store_dir, "--filter", "tag=sweep"]) == 0
+    assert "sgd" in capsys.readouterr().out  # sweep tag matches everything
+
+    import pytest
+
+    with pytest.raises(SystemExit, match="name=value"):
+        cli_main(["report", store_dir, "--filter", "nonsense"])
+
+
+def test_store_merge_cli(tmp_path, capsys):
+    a_dir, b_dir = str(tmp_path / "a"), str(tmp_path / "b")
+    for algo, store_dir in (("sgd", a_dir), ("asgd", b_dir)):
+        cli_main([
+            "sweep", "--preset", "tiny", "--algorithms", algo,
+            "--workers", "2", "--seeds", "1", "--epochs", "1", "--json", store_dir,
+        ])
+    capsys.readouterr()
+
+    dest = str(tmp_path / "merged")
+    assert cli_main(["store", "merge", dest, a_dir, b_dir]) == 0
+    out = capsys.readouterr().out
+    assert "1 copied" in out and "(2 record(s))" in out
+
+    # merging again skips every record (idempotent)
+    assert cli_main(["store", "merge", dest, a_dir, b_dir]) == 0
+    assert "0 copied" in capsys.readouterr().out
+
+    import pytest
+
+    with pytest.raises(SystemExit, match="no result store"):
+        cli_main(["store", "merge", dest, str(tmp_path / "missing")])
+
+
 def test_deterministic_flag_requires_thread_backend():
     import pytest
 

@@ -1,0 +1,91 @@
+"""Conditional sweep axes: per-axis guards and grid-level predicates."""
+
+import pytest
+
+from repro.core import TrainingConfig
+from repro.experiments import Grid, Sweep
+
+
+def test_guarded_axis_expands_only_where_relevant():
+    grid = Sweep("algorithm", ["asgd", "lc-asgd"]) * Sweep(
+        "lc_lambda", [0.3, 0.7], when=lambda p: p["algorithm"] == "lc-asgd"
+    )
+    points = grid.points()
+    assert len(points) == 3  # 1 asgd + 2 lc-asgd, not 4
+    asgd_points = [p for p in points if p["algorithm"] == "asgd"]
+    assert asgd_points == [{"algorithm": "asgd"}]  # lambda never set
+    lambdas = sorted(p["lc_lambda"] for p in points if p["algorithm"] == "lc-asgd")
+    assert lambdas == [0.3, 0.7]
+    assert len(grid) == 3
+
+
+def test_guarded_axis_produces_no_redundant_specs():
+    """The motivating case: lc_lambda is dead weight for asgd, so sweeping
+    it must not mint asgd specs that differ only in an unread field."""
+    grid = Sweep("algorithm", ["asgd", "lc-asgd"]) * Sweep(
+        "lc_lambda", [0.3, 0.7], when=lambda p: p["algorithm"] == "lc-asgd"
+    )
+    specs = grid.specs(
+        lambda **kw: TrainingConfig.tiny(num_workers=2, **kw)
+    )
+    keys = {spec.key() for spec in specs}
+    assert len(specs) == 3 and len(keys) == 3
+    # the unguarded grid builds 4 specs; the two asgd ones share a key only
+    # after dedup — the guard avoids generating the duplicate at all
+    unguarded = Sweep("algorithm", ["asgd", "lc-asgd"]) * Sweep("lc_lambda", [0.3, 0.7])
+    assert len(unguarded.points()) == 4
+
+
+def test_guard_sees_only_earlier_axes():
+    seen = []
+
+    def guard(point):
+        seen.append(dict(point))
+        return True
+
+    grid = (
+        Sweep("algorithm", ["asgd"])
+        * Sweep("num_workers", [2, 4], when=guard)
+        * Sweep("seed", [0, 1])
+    )
+    grid.points()
+    assert all(set(p) == {"algorithm"} for p in seen)  # no num_workers/seed yet
+
+
+def test_grid_level_when_filters_complete_points():
+    grid = (Sweep("algorithm", ["sgd", "asgd"]) * Sweep("num_workers", [2, 16])).when(
+        lambda p: not (p["algorithm"] == "sgd" and p["num_workers"] == 16)
+    )
+    points = grid.points()
+    assert len(points) == 3
+    assert {"algorithm": "sgd", "num_workers": 16} not in points
+    assert len(grid) == 3
+
+
+def test_when_predicates_stack_and_survive_multiplication():
+    grid = Grid(a=[1, 2], b=[1, 2]).when(lambda p: p["a"] != 1).when(
+        lambda p: p["b"] != 1
+    )
+    assert grid.points() == [{"a": 2, "b": 2}]
+    widened = grid * Sweep("c", [7, 8])
+    assert widened.points() == [{"a": 2, "b": 2, "c": 7}, {"a": 2, "b": 2, "c": 8}]
+
+
+def test_point_order_stays_rightmost_fastest():
+    grid = Grid(a=[1, 2], b=["x", "y"])
+    assert grid.points() == [
+        {"a": 1, "b": "x"},
+        {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"},
+        {"a": 2, "b": "y"},
+    ]
+
+
+def test_ungated_behavior_unchanged():
+    grid = Sweep("algorithm", ["asgd", "lc-asgd"]) * Sweep("seed", [0, 1, 2])
+    assert len(grid) == 6
+    assert len(grid.points()) == 6
+    assert dict(grid.axes) == {
+        "algorithm": ("asgd", "lc-asgd"),
+        "seed": (0, 1, 2),
+    }

@@ -1,0 +1,147 @@
+"""ResultStore.merge + report filters: combining and querying fleet stores."""
+
+import json
+
+import pytest
+
+from repro.core import TrainingConfig
+from repro.core.metrics import CurvePoint, RunResult
+from repro.experiments import (
+    Campaign,
+    ResultStore,
+    Grid,
+    parse_filters,
+    record_matches,
+)
+from repro.experiments.spec import ExperimentSpec
+
+
+def make_spec(seed=0, algorithm="asgd", tags=()):
+    return ExperimentSpec(
+        config=TrainingConfig.tiny(algorithm=algorithm, num_workers=2, seed=seed),
+        tags=tags,
+    )
+
+
+def make_result(err=0.5, algorithm="asgd"):
+    return RunResult(
+        algorithm=algorithm,
+        num_workers=2,
+        bn_mode="async",
+        curve=[CurvePoint(1, 1.0, err, 1.0, err, 1.0)],
+        staleness={"mean": 1.0},
+        backend="sim",
+    )
+
+
+class TestMerge:
+    def test_disjoint_stores_combine(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        spec_a, spec_b = make_spec(seed=0), make_spec(seed=1)
+        a.put(spec_a, make_result())
+        b.put(spec_b, make_result())
+
+        report = a.merge(b)
+        assert report.copied == (spec_b.key(),)
+        assert report.skipped == () and report.replaced == ()
+        assert sorted(a.keys()) == sorted([spec_a.key(), spec_b.key()])
+        assert a.get(spec_b.key()) is not None
+
+    def test_key_collision_keeps_existing_by_default(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        spec = make_spec(seed=3)
+        a.put(spec, make_result(err=0.25))
+        b.put(spec, make_result(err=0.75))  # same key, different content
+
+        report = a.merge(b)
+        assert report.skipped == (spec.key(),)
+        assert report.copied == ()
+        assert a.get(spec).final_test_error == 0.25  # ours survived
+
+    def test_key_collision_overwrite_prefers_source(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        spec = make_spec(seed=3)
+        a.put(spec, make_result(err=0.25))
+        b.put(spec, make_result(err=0.75))
+
+        report = a.merge(b, overwrite=True)
+        assert report.replaced == (spec.key(),)
+        assert a.get(spec).final_test_error == 0.75
+
+    def test_corrupt_source_record_fails_before_copying(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        (b.root / "deadbeefdeadbeef.json").write_text("{ truncated")
+        with pytest.raises(json.JSONDecodeError):
+            a.merge(b)
+        assert len(a) == 0  # nothing landed
+
+    def test_merge_is_idempotent(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        b.put(make_spec(seed=5), make_result())
+        a.merge(b)
+        report = a.merge(b)
+        assert report.copied == () and len(report.skipped) == 1
+
+    def test_merged_fleet_stores_summarize_like_one_campaign(self, tmp_path):
+        """The fleet workflow: two hosts each ran half a grid; merging their
+        stores must summarize exactly like one store that ran it all."""
+        specs = Grid(seed=[0, 1, 2, 3]).specs(
+            lambda **kw: TrainingConfig.tiny(algorithm="asgd", num_workers=2, epochs=1, **kw)
+        )
+        whole = ResultStore(tmp_path / "whole")
+        Campaign(specs, store=whole).run()
+
+        half_a = ResultStore(tmp_path / "host-a")
+        half_b = ResultStore(tmp_path / "host-b")
+        Campaign(specs[:2], store=half_a).run()
+        Campaign(specs[2:], store=half_b).run()
+        combined = ResultStore(tmp_path / "combined")
+        combined.merge(half_a)
+        combined.merge(half_b)
+
+        assert combined.keys() == whole.keys()
+        assert json.dumps(combined.summarize(), sort_keys=True) == json.dumps(
+            whole.summarize(), sort_keys=True
+        )
+
+
+class TestFilters:
+    def test_parse_filters(self):
+        parsed = parse_filters(["tag=sweep", "algo=lc-asgd", "num_workers=4"])
+        assert parsed == {"tag": "sweep", "algorithm": "lc-asgd", "num_workers": "4"}
+
+    def test_parse_rejects_malformed_and_duplicates(self):
+        with pytest.raises(ValueError, match="name=value"):
+            parse_filters(["justaname"])
+        with pytest.raises(ValueError, match="twice"):
+            parse_filters(["algo=a", "algorithm=b"])
+
+    def test_record_matching(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_spec(seed=1, algorithm="asgd", tags=("sweep",)), make_result())
+        store.put(
+            make_spec(seed=1, algorithm="lc-asgd", tags=("sweep", "night")),
+            make_result(algorithm="lc-asgd"),
+        )
+        records = list(store.records())
+        assert sum(record_matches(r, {"algorithm": "lc-asgd"}) for r in records) == 1
+        assert sum(record_matches(r, {"tag": "sweep"}) for r in records) == 2
+        assert sum(record_matches(r, {"tag": "night"}) for r in records) == 1
+        assert sum(record_matches(r, {"backend": "sim"}) for r in records) == 2
+        assert sum(record_matches(r, {"num_workers": "2"}) for r in records) == 2
+        assert sum(record_matches(r, {"no_such_field": "x"}) for r in records) == 0
+
+    def test_summarize_with_filters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_spec(seed=1, algorithm="asgd"), make_result())
+        store.put(
+            make_spec(seed=1, algorithm="lc-asgd"), make_result(algorithm="lc-asgd")
+        )
+        rows = store.summarize(filters={"algorithm": "asgd"})
+        assert len(rows) == 1 and rows[0]["algorithm"] == "asgd"
+        assert len(store.summarize()) == 2

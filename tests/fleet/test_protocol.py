@@ -1,0 +1,115 @@
+"""Fleet frame vocabulary: builders, parser, spec/result round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig
+from repro.core.metrics import CurvePoint, RunResult
+from repro.experiments.spec import ExperimentSpec
+from repro.fleet import protocol
+from repro.fleet.protocol import FleetProtocolError
+
+
+def make_spec(**overrides):
+    return ExperimentSpec(
+        config=TrainingConfig.tiny(algorithm="asgd", num_workers=2, **overrides),
+        backend="sim",
+        tags=("fleet", "t"),
+    )
+
+
+def make_result():
+    return RunResult(
+        algorithm="asgd",
+        num_workers=2,
+        bn_mode="async",
+        curve=[CurvePoint(1, 0.5, 0.2, 0.9, 0.25, 1.0)],
+        staleness={"mean": np.float64(1.5)},  # numpy scalars must survive
+        total_updates=8,
+        seed=3,
+        backend="sim",
+    )
+
+
+class TestFrames:
+    def test_hello_welcome_roundtrip(self):
+        kind, doc = protocol.parse_frame(protocol.hello_frame())
+        assert kind == "hello"
+        kind, doc = protocol.parse_frame(protocol.welcome_frame(4, "h:1"))
+        assert kind == "welcome" and doc["slots"] == 4
+
+    def test_version_mismatch_rejected(self):
+        bad = protocol.hello_frame()
+        bad["v"] = protocol.FLEET_VERSION + 1
+        with pytest.raises(FleetProtocolError, match="protocol mismatch"):
+            protocol.parse_frame(bad)
+
+    def test_welcome_without_slots_rejected(self):
+        with pytest.raises(FleetProtocolError, match="slots"):
+            protocol.parse_frame({"fleet": "welcome", "v": protocol.FLEET_VERSION, "slots": 0})
+
+    def test_junk_rejected(self):
+        with pytest.raises(FleetProtocolError):
+            protocol.parse_frame({"hello": 0})  # a proc handshake doc, not fleet
+        with pytest.raises(FleetProtocolError):
+            protocol.parse_frame({"fleet": "launch_missiles"})
+        with pytest.raises(FleetProtocolError, match="job id"):
+            protocol.parse_frame({"fleet": "result", "result": {}})
+
+    def test_job_spec_roundtrip_preserves_key_and_tags(self):
+        spec = make_spec(seed=11)
+        kind, doc = protocol.parse_frame(protocol.job_frame("7", spec))
+        assert kind == "job"
+        rebuilt = protocol.decode_spec(doc)
+        assert rebuilt.key() == spec.key()
+        assert rebuilt.tags == spec.tags
+        # canonical (JSON) form matches even where tuples became lists
+        assert rebuilt.config.to_dict() == spec.config.to_dict()
+
+    def test_spec_key_mismatch_refused(self):
+        doc = protocol.job_frame("1", make_spec())["spec"]
+        doc["key"] = "0" * 16  # a skewed sender lying about identity
+        with pytest.raises(ValueError, match="key mismatch"):
+            ExperimentSpec.from_dict(doc)
+
+    def test_result_roundtrip_through_json(self):
+        import json
+
+        result = make_result()
+        frame = protocol.result_frame("3", result)
+        payload = json.loads(json.dumps(frame))  # the wire is strict JSON
+        kind, doc = protocol.parse_frame(payload)
+        rebuilt = protocol.decode_result(doc)
+        assert rebuilt.final_test_error == result.final_test_error
+        assert rebuilt.staleness == {"mean": 1.5}
+        assert rebuilt.total_updates == 8
+
+    def test_curve_point_frame(self):
+        point = CurvePoint(2, 1.0, 0.3, 0.8, 0.35, 0.9)
+        kind, doc = protocol.parse_frame(protocol.curve_point_frame("5", point))
+        assert kind == "curve_point"
+        assert CurvePoint.from_dict(doc["point"]) == point
+
+    def test_job_error_frame(self):
+        kind, doc = protocol.parse_frame(
+            protocol.job_error_frame("2", "ValueError('boom')", "tb...")
+        )
+        assert kind == "job_error"
+        assert "boom" in doc["error"]
+
+
+class TestAgentAddrs:
+    def test_parses_roster(self):
+        assert protocol.parse_agent_addrs("a:1, b:2 ,") == [("a", 1), ("b", 2)]
+
+    def test_rejects_portless(self):
+        with pytest.raises(ValueError, match="host:port"):
+            protocol.parse_agent_addrs("justahost")
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            protocol.parse_agent_addrs("h:notaport")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no agent"):
+            protocol.parse_agent_addrs(" , ")

