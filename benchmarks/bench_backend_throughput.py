@@ -14,12 +14,15 @@ racing for ``proc``.
 
 import time
 
-from repro.bench import format_table
+from repro.bench import format_table, record_trajectory
 from repro.bench.workloads import throughput_workload
 from repro.runtime import run_experiment
 
 ALGOS = ("asgd", "lc-asgd")
 BACKENDS = ("sim", "thread", "proc")
+# decentralized row: ad-psgd has no server, so it runs on the gossip
+# runtime whichever backend name dispatches to it
+COMBOS = tuple((a, b) for a in ALGOS for b in BACKENDS) + (("ad-psgd", "gossip"),)
 
 
 def _measure(algorithm: str, backend: str):
@@ -32,26 +35,21 @@ def _measure(algorithm: str, backend: str):
 
 def test_backend_throughput(benchmark):
     def run_all():
-        out = {}
-        for algo in ALGOS:
-            for backend in BACKENDS:
-                out[(algo, backend)] = _measure(algo, backend)
-        return out
+        return {combo: _measure(*combo) for combo in COMBOS}
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     rows = []
-    for algo in ALGOS:
-        for backend in BACKENDS:
-            result, ups = results[(algo, backend)]
-            rows.append([
-                algo,
-                backend,
-                result.total_updates,
-                f"{ups:.1f}",
-                f"{result.staleness['mean']:.2f}",
-                f"{result.wall_time:.2f}",
-            ])
+    for algo, backend in COMBOS:
+        result, ups = results[(algo, backend)]
+        rows.append([
+            algo,
+            backend,
+            result.total_updates,
+            f"{ups:.1f}",
+            f"{result.staleness['mean']:.2f}",
+            f"{result.wall_time:.2f}",
+        ])
     print()
     print(format_table(
         ["algorithm", "backend", "updates", "updates/sec", "mean staleness", "wall s"],
@@ -59,12 +57,16 @@ def test_backend_throughput(benchmark):
         title="Backend throughput (4 workers, fixed update budget)",
     ))
 
-    for algo in ALGOS:
-        for backend in BACKENDS:
-            result, ups = results[(algo, backend)]
-            assert result.total_updates == throughput_workload(algo).max_updates
-            assert ups > 0
-            assert result.backend == backend
+    for algo, backend in COMBOS:
+        result, ups = results[(algo, backend)]
+        assert result.total_updates == throughput_workload(algo).max_updates
+        assert ups > 0
+        assert result.backend == backend
     # the concurrent runtimes must exhibit genuine (nonzero) async staleness
     assert results[("asgd", "thread")][0].staleness["mean"] > 0
     assert results[("asgd", "proc")][0].staleness["mean"] > 0
+
+    record_trajectory("backend_throughput", {
+        f"{algo.replace('-', '_')}_{backend}_updates_per_sec": ups
+        for (algo, backend), (_, ups) in results.items()
+    })

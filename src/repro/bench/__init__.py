@@ -11,6 +11,7 @@ from repro.bench.harness import (
     ExperimentGrid,
     GridResult,
     format_table,
+    record_trajectory,
     run_curves,
     run_grid,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "run_grid",
     "run_curves",
     "format_table",
+    "record_trajectory",
     "ascii_plot",
     "ascii_scatter",
     "cifar_workload",

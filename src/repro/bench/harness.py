@@ -1,18 +1,51 @@
-"""Grid runners and result aggregation for the benches."""
+"""Grid runners, result aggregation, and the perf trajectory for the benches."""
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import TrainingConfig
 from repro.core.metrics import RunResult, degradation
-from repro.core.trainer import DistributedTrainer
 from repro.utils.logging import get_logger
 
 logger = get_logger("bench.harness")
+
+
+def record_trajectory(
+    name: str, metrics: Dict[str, float], root: Optional[str] = None
+) -> Optional[str]:
+    """Append one dated entry to the ``BENCH_<name>.json`` trajectory.
+
+    The trajectory is how perf regressions stay visible across PRs: each
+    recorded bench run appends ``{"date", "metrics"}`` to a committed JSON
+    file at the repo root.  Recording is opt-in — without an explicit
+    ``root`` this is a no-op unless ``REPRO_BENCH_RECORD`` is set — so
+    ordinary pytest/CI runs never dirty the working tree.  Returns the
+    path written, or None when recording is off.
+    """
+    if root is None:
+        if not os.environ.get("REPRO_BENCH_RECORD"):
+            return None
+        root = os.environ.get("REPRO_BENCH_DIR") or str(
+            Path(__file__).resolve().parents[3]
+        )
+    path = Path(root) / f"BENCH_{name}.json"
+    history = json.loads(path.read_text()) if path.exists() else []
+    clean = {
+        key: (round(value, 6) if isinstance(value, float) else value)
+        for key, value in metrics.items()
+    }
+    history.append({"date": time.strftime("%Y-%m-%d"), "metrics": clean})
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    logger.info("recorded bench trajectory entry: %s", path)
+    return str(path)
 
 
 @dataclass
@@ -113,10 +146,14 @@ def run_curves(
     **kwargs,
 ) -> Dict[str, RunResult]:
     """Run one seed per algorithm and return results keyed by algorithm."""
+    from repro.runtime import run_experiment
+
     out: Dict[str, RunResult] = {}
     for algorithm in algorithms:
         config = workload(algorithm, workers, seed=seed, **kwargs)
-        out[algorithm] = DistributedTrainer(config).run()
+        # through the backend registry (not DistributedTrainer directly) so
+        # serverless algorithms dispatch to the gossip runtime
+        out[algorithm] = run_experiment(config, backend="sim")
     return out
 
 

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core import TrainingConfig
-from repro.core.config import ALGORITHMS
+from repro.core.config import ALGORITHMS, TOPOLOGIES
 from repro.data.registry import dataset_names
 from repro.experiments import (
     Campaign,
@@ -89,6 +89,8 @@ def _make_config(
     if args.model is not None:
         overrides["model"] = args.model
         overrides["model_kwargs"] = {}  # preset kwargs belong to its own model
+    if getattr(args, "topology", None) is not None:
+        overrides["topology"] = args.topology
     return factory(
         algorithm=algorithm,
         num_workers=int(args.workers) if workers is None else workers,
@@ -152,8 +154,16 @@ def _add_common(parser: argparse.ArgumentParser, multi_worker: bool = False) -> 
         "--backend",
         choices=list(available_backends()),
         default="sim",
-        help="execution runtime: sim (virtual time), thread (real threads) "
-             "or proc (real worker processes over sockets)",
+        help="execution runtime: sim (virtual time), thread (real threads), "
+             "proc (real worker processes over sockets) or gossip "
+             "(serverless ad-psgd; sim/thread delegate to it automatically)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=list(TOPOLOGIES),
+        default=None,
+        help="ad-psgd peer graph (ring, bipartite, complete); "
+             "ignored by the server-based algorithms",
     )
     parser.add_argument(
         "--deterministic",
@@ -330,7 +340,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     _check_jobs(args)
-    specs = [_make_spec(args, algorithm) for algorithm in ALGORITHMS]
+    # the proc runtime is server-based only; keep `compare --backend proc`
+    # meaningful by skipping the serverless algorithm instead of dying on it
+    algorithms = [a for a in ALGORITHMS if not (a == "ad-psgd" and args.backend == "proc")]
+    specs = [_make_spec(args, algorithm) for algorithm in algorithms]
     report = Campaign(
         specs,
         executor=make_executor(args.jobs),

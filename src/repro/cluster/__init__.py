@@ -13,6 +13,15 @@ from repro.cluster.event import Event, EventQueue
 from repro.cluster.network import LinkModel, NetworkModel
 from repro.cluster.node import ComputeModel, StragglerModel
 from repro.cluster.simulator import Simulator
+from repro.cluster.topology import (
+    BipartiteTopology,
+    CompleteTopology,
+    RingTopology,
+    TopologyModel,
+    available_topologies,
+    make_topology,
+    register_topology,
+)
 from repro.cluster.trace import ClusterTrace, TraceEvent
 
 __all__ = [
@@ -25,4 +34,11 @@ __all__ = [
     "StragglerModel",
     "ClusterTrace",
     "TraceEvent",
+    "TopologyModel",
+    "RingTopology",
+    "BipartiteTopology",
+    "CompleteTopology",
+    "make_topology",
+    "register_topology",
+    "available_topologies",
 ]

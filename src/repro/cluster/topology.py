@@ -1,0 +1,238 @@
+"""Peer topologies for decentralized (serverless) execution.
+
+A :class:`TopologyModel` describes *who may average with whom* in the
+AD-PSGD gossip runtime: the undirected peer graph over ``N`` workers, a
+per-step random neighbor choice, and a per-round deterministic matching
+(the schedule the bit-reproducible sim mode runs).  Each edge carries its
+own :class:`~repro.cluster.network.LinkModel` — the same latency/bandwidth/
+jitter model the parameter-server backends charge per worker-server link —
+with heterogeneity drawn once per edge, so some peer links are persistently
+better than others.
+
+Three graphs are provided, mirroring the AD-PSGD paper's communication
+patterns:
+
+* ``ring`` — worker ``i`` talks to ``i±1 (mod N)``; degree 2, the sparsest
+  connected option and the paper's headline scaling configuration.
+* ``bipartite`` — even-id workers pair with odd-id workers (the paper's
+  "odd-even" partition); pairing two halves keeps every matching
+  conflict-free, which is what makes the pairwise averaging trivially
+  deadlock-free under round scheduling.
+* ``complete`` — everyone may gossip with everyone; densest communication,
+  fastest mixing, the baseline the sparse graphs are measured against.
+
+Topologies register by name (like timing models and backends) so configs
+select one with a string::
+
+    from repro.cluster.topology import make_topology
+    topo = make_topology("ring", num_workers=8, seed=7)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.network import LinkModel
+from repro.utils.registry import Registry
+from repro.utils.rng import SeedLike, as_generator
+
+
+class TopologyModel:
+    """Undirected peer graph + per-edge links over ``num_workers`` nodes.
+
+    Subclasses define :meth:`neighbors`.  Edges are canonicalized as
+    ``(min, max)`` pairs; every edge gets an independent jitter stream and
+    a once-drawn heterogeneity factor on its base latency, exactly like
+    :class:`~repro.cluster.network.NetworkModel` does per worker-server
+    link.  ``num_workers == 1`` degenerates to an edgeless graph (pure
+    local SGD), which the gossip runtime accepts.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        num_workers: int,
+        link: Optional[LinkModel] = None,
+        heterogeneity: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 0.0 <= heterogeneity < 1.0:
+            raise ValueError("heterogeneity must be in [0, 1)")
+        self.num_workers = int(num_workers)
+        base = link or LinkModel()
+        setup_rng = as_generator(seed, "topology-setup")
+        self._links: Dict[Tuple[int, int], LinkModel] = {}
+        self._rngs: Dict[Tuple[int, int], np.random.Generator] = {}
+        for edge in self.edges():
+            factor = 1.0
+            if heterogeneity > 0:
+                factor = float(setup_rng.uniform(1 - heterogeneity, 1 + heterogeneity))
+            self._links[edge] = LinkModel(
+                base_latency=base.base_latency * factor,
+                bandwidth=base.bandwidth,
+                jitter_sigma=base.jitter_sigma,
+            )
+            self._rngs[edge] = as_generator(seed, f"topology-edge-{edge[0]}-{edge[1]}")
+
+    # ------------------------------------------------------------------ #
+    # graph structure
+    # ------------------------------------------------------------------ #
+    def neighbors(self, worker: int) -> Tuple[int, ...]:
+        """Peers ``worker`` may average with, ascending, self excluded."""
+        raise NotImplementedError
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Every undirected edge as a canonical ``(lo, hi)`` pair, sorted."""
+        seen = set()
+        for i in range(self.num_workers):
+            for j in self.neighbors(i):
+                self._check_worker(j)
+                if j == i:
+                    raise ValueError(f"worker {i} lists itself as a neighbor")
+                seen.add((min(i, j), max(i, j)))
+        return sorted(seen)
+
+    def degree(self, worker: int) -> int:
+        """Number of peers of ``worker``."""
+        return len(self.neighbors(worker))
+
+    # ------------------------------------------------------------------ #
+    # gossip scheduling
+    # ------------------------------------------------------------------ #
+    def partner(self, worker: int, rng: np.random.Generator) -> Optional[int]:
+        """Sample the per-step random neighbor (AD-PSGD's choice); None when
+        the worker is isolated (``N == 1``)."""
+        peers = self.neighbors(worker)
+        if not peers:
+            return None
+        return int(peers[int(rng.integers(len(peers)))])
+
+    def round_pairs(
+        self, round_index: int, rng: np.random.Generator
+    ) -> List[Tuple[int, int]]:
+        """A conflict-free matching on the graph for one gossip round.
+
+        This is the deterministic schedule the sim-mode gossip runtime
+        executes: a maximal greedy matching built from a seeded random
+        visit order, so (a) no worker appears in two pairs of one round —
+        pairwise averaging can be applied in any order — and (b) the same
+        seed reproduces the same matching sequence bit-for-bit.  Workers
+        the greedy pass leaves unmatched simply skip averaging that round
+        (odd ``N`` always leaves at least one out).
+        """
+        order = rng.permutation(self.num_workers)
+        taken = set()
+        pairs: List[Tuple[int, int]] = []
+        for i in order:
+            i = int(i)
+            if i in taken:
+                continue
+            candidates = [j for j in self.neighbors(i) if j not in taken]
+            if not candidates:
+                continue
+            j = int(candidates[int(rng.integers(len(candidates)))])
+            taken.add(i)
+            taken.add(j)
+            pairs.append((min(i, j), max(i, j)))
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------ #
+    # per-edge links
+    # ------------------------------------------------------------------ #
+    def link(self, a: int, b: int) -> LinkModel:
+        """The link model of edge ``{a, b}``; non-edges raise."""
+        edge = (min(a, b), max(a, b))
+        if edge not in self._links:
+            raise ValueError(f"workers {a} and {b} are not neighbors in {self.name!r}")
+        return self._links[edge]
+
+    def transfer_time(self, a: int, b: int, nbytes: float) -> float:
+        """Sample the virtual seconds to move ``nbytes`` over edge ``{a, b}``."""
+        edge = (min(a, b), max(a, b))
+        if edge not in self._links:
+            raise ValueError(f"workers {a} and {b} are not neighbors in {self.name!r}")
+        return self._links[edge].transfer_time(nbytes, self._rngs[edge])
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range [0, {self.num_workers})")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_workers={self.num_workers})"
+
+
+class RingTopology(TopologyModel):
+    """Workers on a cycle: ``i`` talks to ``i-1`` and ``i+1`` (mod N)."""
+
+    name = "ring"
+
+    def neighbors(self, worker: int) -> Tuple[int, ...]:
+        self._check_worker(worker)
+        n = self.num_workers
+        if n == 1:
+            return ()
+        if n == 2:
+            return (1 - worker,)
+        return tuple(sorted({(worker - 1) % n, (worker + 1) % n}))
+
+
+class BipartiteTopology(TopologyModel):
+    """The odd-even partition: even-id workers peer with every odd-id one.
+
+    With one side empty (``N == 1``) the graph is edgeless.  Because every
+    edge crosses the partition, any matching is automatically conflict-free
+    — the structure the AD-PSGD paper uses to rule out averaging deadlocks.
+    """
+
+    name = "bipartite"
+
+    def neighbors(self, worker: int) -> Tuple[int, ...]:
+        self._check_worker(worker)
+        side = worker % 2
+        return tuple(j for j in range(self.num_workers) if j % 2 != side)
+
+
+class CompleteTopology(TopologyModel):
+    """Every worker peers with every other (densest gossip graph)."""
+
+    name = "complete"
+
+    def neighbors(self, worker: int) -> Tuple[int, ...]:
+        self._check_worker(worker)
+        return tuple(j for j in range(self.num_workers) if j != worker)
+
+
+TOPOLOGIES: Registry = Registry("topology")
+
+
+def register_topology(name: str, factory, override: bool = False) -> None:
+    """Register a topology factory under ``name`` (duplicates raise)."""
+    TOPOLOGIES.register(name, factory, override=override)
+
+
+def available_topologies() -> Tuple[str, ...]:
+    """Registered topology names, sorted."""
+    return TOPOLOGIES.names()
+
+
+def make_topology(
+    name: str,
+    num_workers: int,
+    link: Optional[LinkModel] = None,
+    heterogeneity: float = 0.0,
+    seed: SeedLike = 0,
+) -> TopologyModel:
+    """Build the topology registered under ``name`` for ``num_workers``."""
+    return TOPOLOGIES.get(name)(
+        num_workers, link=link, heterogeneity=heterogeneity, seed=seed
+    )
+
+
+register_topology("ring", RingTopology)
+register_topology("bipartite", BipartiteTopology)
+register_topology("complete", CompleteTopology)

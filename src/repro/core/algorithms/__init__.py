@@ -1,6 +1,8 @@
-"""Server-side update rules for the five training algorithms."""
+"""Update rules for the training algorithms (server-side, plus the
+decentralized AD-PSGD rule that lives on each worker replica)."""
 
 from repro.core.algorithms.base import UpdateRule
+from repro.core.algorithms.adpsgd import ADPSGDRule, gossip_staleness, pairwise_average
 from repro.core.algorithms.asgd import ASGDRule
 from repro.core.algorithms.dcasgd import DCASGDRule
 from repro.core.algorithms.lcasgd import LCASGDRule, compensation_seed
@@ -13,10 +15,13 @@ __all__ = [
     "SequentialSGDRule",
     "SSGDRule",
     "ASGDRule",
+    "ADPSGDRule",
     "DCASGDRule",
     "LCASGDRule",
     "StalenessAwareASGDRule",
     "compensation_seed",
+    "pairwise_average",
+    "gossip_staleness",
     "make_update_rule",
 ]
 
@@ -42,4 +47,7 @@ def make_update_rule(algorithm: str, num_workers: int, momentum: float = 0.0, **
         return LCASGDRule(momentum=momentum)
     if algorithm == "sa-asgd":
         return StalenessAwareASGDRule(momentum=momentum)
+    if algorithm == "ad-psgd":
+        # per-replica local rule: the gossip runtime builds one per worker
+        return ADPSGDRule(momentum=momentum)
     raise ValueError(f"unknown algorithm {algorithm!r}")

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Sequence, Tuple
 
-ALGORITHMS = ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd", "sa-asgd")
+ALGORITHMS = ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd", "sa-asgd", "ad-psgd")
 BN_MODES = ("local", "replace", "async")
 COMPENSATION_MODES = ("scale", "sensitivity", "damping")
+TOPOLOGIES = ("ring", "bipartite", "complete")
 
 
 @dataclass
@@ -102,6 +103,11 @@ class TrainingConfig:
     dc_lambda: float = 0.04
     dc_adaptive: bool = True
 
+    # AD-PSGD specifics: the peer graph decentralized runs gossip over.
+    # Ignored by the server-based algorithms (kept in the spec hash anyway:
+    # one canonical serialization for every algorithm).
+    topology: str = "ring"
+
     # model / dataset
     model: str = "mlp"  # any name in repro.nn.registry (mlp, resnet18, ...)
     model_kwargs: Dict = field(default_factory=dict)
@@ -127,6 +133,8 @@ class TrainingConfig:
             raise ValueError(
                 f"compensation must be one of {COMPENSATION_MODES}, got {self.compensation!r}"
             )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"topology must be one of {TOPOLOGIES}, got {self.topology!r}")
         if self.algorithm == "sgd":
             # sequential SGD runs with exactly one worker.  Normalizing here
             # (rather than raising) is what lets sweep grids include "sgd"

@@ -78,6 +78,10 @@ class RunResult:
     seed: int = 0
     backend: str = "sim"  # which execution backend produced this result
     wall_time: float = 0.0  # real elapsed seconds, whatever the backend
+    topology: str = ""  # peer graph for decentralized runs, "" for server-based
+    # communication accounting: per-endpoint byte totals, e.g.
+    # {"server_bytes": ..., "max_worker_bytes": ..., "total_bytes": ...}
+    comm: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property
@@ -152,6 +156,8 @@ class RunResult:
             "seed": self.seed,
             "backend": self.backend,
             "wall_time": self.wall_time,
+            "topology": self.topology,
+            "comm": dict(self.comm),
         }
 
     @classmethod
@@ -172,6 +178,9 @@ class RunResult:
             seed=int(payload["seed"]),
             backend=payload["backend"],
             wall_time=float(payload["wall_time"]),
+            # absent in results stored before decentralized runs existed
+            topology=payload.get("topology", ""),
+            comm={k: float(v) for k, v in payload.get("comm", {}).items()},
         )
 
 

@@ -85,6 +85,15 @@ class DistributedTrainer:
             if config is None:
                 raise ValueError("DistributedTrainer needs a config or a plan")
             plan = ExperimentPlan.from_config(config)
+        if plan.config.algorithm == "ad-psgd":
+            # no parameter server exists in a decentralized run; silently
+            # treating the gossip rule as a server rule would "work" but
+            # simulate the wrong system
+            raise ValueError(
+                "DistributedTrainer simulates a parameter server; run "
+                "'ad-psgd' through run_experiment(..., backend='sim') so it "
+                "dispatches to the gossip runtime"
+            )
         self.plan = plan
         self.session = ExperimentSession(plan)
 

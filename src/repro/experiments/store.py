@@ -224,7 +224,7 @@ class ResultStore:
 # record filtering (the CLI's ``report --filter``)
 # ---------------------------------------------------------------------- #
 #: filter-name aliases: short CLI spellings -> the field they mean
-FILTER_ALIASES = {"algo": "algorithm", "workers": "num_workers"}
+FILTER_ALIASES = {"algo": "algorithm", "workers": "num_workers", "topo": "topology"}
 
 
 def parse_filters(items: Sequence[str]) -> Dict[str, str]:
@@ -266,6 +266,17 @@ def record_matches(record: StoreRecord, filters: Dict[str, str]) -> bool:
                 return False
         elif name == "backend":
             if str(spec.get("backend", "")) != value:
+                return False
+        elif name == "topology":
+            # every config carries the field, but only decentralized runs
+            # read it — match the *effective* topology ("" for a parameter-
+            # server run), mirroring RunResult.topology
+            effective = (
+                str(config.get(name, ""))
+                if str(config.get("algorithm", "")) == "ad-psgd"
+                else ""
+            )
+            if effective != value:
                 return False
         else:
             if name not in config or str(config[name]) != value:
@@ -310,19 +321,21 @@ def summarize_results(
             f"scenarios ({len(scenarios)}) and results ({len(results)}) must "
             f"be parallel sequences"
         )
-    cells: Dict[Tuple[str, str, int, str], List[RunResult]] = {}
+    cells: Dict[Tuple[str, str, str, int, str], List[RunResult]] = {}
     for result, scenario in zip(results, scenarios):
         cells.setdefault(
-            (scenario, result.algorithm, result.num_workers, result.backend), []
+            (scenario, result.algorithm, result.topology, result.num_workers, result.backend),
+            [],
         ).append(result)
 
     rows: List[Dict[str, Any]] = []
-    for (scenario, algorithm, workers, backend), runs in sorted(cells.items()):
+    for (scenario, algorithm, topology, workers, backend), runs in sorted(cells.items()):
         final_errors = np.array([r.final_test_error for r in runs], dtype=np.float64)
         rows.append(
             {
                 "scenario": scenario,
                 "algorithm": algorithm,
+                "topology": topology,
                 "num_workers": workers,
                 "backend": backend,
                 "runs": len(runs),
@@ -353,16 +366,23 @@ def format_summary(rows: Sequence[Dict[str, Any]]) -> str:
     scenarios = {row.get("scenario", "") for row in rows}
     show_scenario = len(scenarios) > 1
     scen_w = max(len("scenario"), *(len(s) for s in scenarios)) if show_scenario else 0
+    # decentralized rows carry a peer graph; the column appears only when
+    # at least one run has one (server-only tables stay compact)
+    show_topology = any(row.get("topology", "") for row in rows)
     header = (
         (f"{'scenario':<{scen_w}} " if show_scenario else "")
-        + f"{'algorithm':<10} {'M':>3} {'backend':<7} {'runs':>4} "
+        + f"{'algorithm':<10} "
+        + (f"{'topology':<9} " if show_topology else "")
+        + f"{'M':>3} {'backend':<7} {'runs':>4} "
         f"{'test err':>9} {'±std':>7} {'best':>7} {'stale':>6} {'clock(s)':>9}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             (f"{row.get('scenario', ''):<{scen_w}} " if show_scenario else "")
-            + f"{row['algorithm']:<10} {row['num_workers']:>3} {row['backend']:<7} "
+            + f"{row['algorithm']:<10} "
+            + (f"{row.get('topology', '') or '-':<9} " if show_topology else "")
+            + f"{row['num_workers']:>3} {row['backend']:<7} "
             f"{row['runs']:>4} {row['final_test_error']:>8.2%} "
             f"{row['final_test_error_std']:>7.4f} {row['best_test_error']:>6.2%} "
             f"{row['mean_staleness']:>6.1f} {row['clock_time']:>9.1f}"

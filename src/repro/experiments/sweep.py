@@ -53,8 +53,11 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 from repro.core.config import TrainingConfig
 from repro.experiments.spec import ExperimentSpec
+from repro.utils.rng import as_generator
 
 #: a grid expands against either a preset factory or a concrete config
 ConfigBase = Union[TrainingConfig, Callable[..., TrainingConfig]]
@@ -194,6 +197,81 @@ class Grid:
         for predicate in self._filters:
             points = [p for p in points if predicate(p)]
         return points
+
+    # ------------------------------------------------------------------ #
+    def sample(self, n: int, method: str = "random", seed: int = 0) -> "Grid":
+        """A sub-grid of at most ``n`` points, sampled deterministically.
+
+        The exploration half of guided search: instead of running a full
+        cross product, draw a representative subset and sweep that.
+
+        ``method="random"`` draws ``n`` points uniformly without
+        replacement from :meth:`points` (so ``when`` guards and filters
+        are already respected); ``n >= len(grid)`` keeps every point.
+        ``method="lhs"`` is a discrete latin hypercube: each axis's values
+        are stratified evenly across the ``n`` draws and permuted
+        independently, giving per-axis coverage a uniform draw of the same
+        size cannot guarantee.  LHS candidates that guards/filters reject
+        (or that collapse onto one surviving point) are dropped, so it may
+        return fewer than ``n`` points on conditional grids.
+
+        The same ``(n, method, seed)`` always selects the same points.
+        The result is a real :class:`Grid` — membership is enforced by a
+        grid-level filter over the axes that existed at sampling time, so
+        it composes: multiplying by a *new* axis afterwards expands every
+        sampled point across that axis.
+        """
+        if n < 1:
+            raise ValueError("sample size must be >= 1")
+        if method not in ("random", "lhs"):
+            raise ValueError(f"method must be 'random' or 'lhs', got {method!r}")
+        points = self.points()
+        if not points:
+            raise ValueError("cannot sample an empty grid")
+        rng = as_generator(seed, f"grid-sample-{method}")
+        if n >= len(points):
+            chosen = points
+        elif method == "random":
+            picked = rng.choice(len(points), size=n, replace=False)
+            chosen = [points[i] for i in sorted(int(i) for i in picked)]
+        else:
+            chosen = self._lhs_select(points, n, rng)
+
+        absent = object()
+        names = tuple(self._axes.keys())
+        member_keys = [
+            tuple((name, point.get(name, absent)) for name in names)
+            for point in chosen
+        ]
+
+        def member(point: Dict[str, Any]) -> bool:
+            key = tuple((name, point.get(name, absent)) for name in names)
+            return any(key == sampled for sampled in member_keys)
+
+        return self.when(member)
+
+    def _lhs_select(
+        self, points: List[Dict[str, Any]], n: int, rng: np.random.Generator
+    ) -> List[Dict[str, Any]]:
+        """Latin-hypercube draw projected onto the grid's real points."""
+        columns: Dict[str, List[Any]] = {}
+        for name, sweep in self._axes.items():
+            k = len(sweep.values)
+            strata = np.floor(np.arange(n) * k / n).astype(int)
+            rng.shuffle(strata)
+            columns[name] = [sweep.values[i] for i in strata]
+        chosen: List[Dict[str, Any]] = []
+        for row in range(n):
+            candidate = {name: columns[name][row] for name in self._axes}
+            # project onto the first real point the candidate agrees with
+            # on every field that point carries (guarded axes the point
+            # omits are free); drop candidates no point matches
+            for point in points:
+                if all(candidate.get(k2) == v for k2, v in point.items()):
+                    if point not in chosen:
+                        chosen.append(point)
+                    break
+        return chosen
 
     def configs(self, base: ConfigBase) -> List[TrainingConfig]:
         """One TrainingConfig per point, built from ``base``."""

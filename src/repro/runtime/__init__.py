@@ -18,6 +18,11 @@ ways from one experiment specification:
   :class:`ProcBackend`: the same server actor, but every worker is a real
   OS process speaking the :mod:`repro.runtime.wire` protocol over a
   loopback socket — genuinely independent compute, no shared GIL.
+* :mod:`repro.runtime.gossip_backend` — :class:`GossipBackend`: the
+  decentralized AD-PSGD runtime.  No server at all: workers average
+  weights pairwise over a peer topology, in a deterministic virtual-time
+  mode and a genuinely concurrent thread mode (atomic pairing via
+  :class:`PairingBoard` keeps the averaging deadlock-free).
 * :mod:`repro.runtime.messages` / :mod:`repro.runtime.transport` /
   :mod:`repro.runtime.wire` — the typed envelopes, the in-process
   delay-injecting message fabric, and the socket framing/codec layer.
@@ -42,6 +47,7 @@ from repro.runtime.backends import (
     register_backend,
     run_experiment,
 )
+from repro.runtime.gossip_backend import GossipBackend, PairingBoard
 from repro.runtime.proc_backend import ProcBackend, SocketTransport
 from repro.runtime.server_actor import RunControl, server_actor_loop
 from repro.runtime.session import (
@@ -52,13 +58,16 @@ from repro.runtime.session import (
     build_model,
 )
 from repro.runtime.thread_backend import RoundRobinTurnstile, ThreadBackend
-from repro.runtime.transport import InProcTransport, Mailbox
+from repro.runtime.transport import GossipTransport, InProcTransport, Mailbox
 
 __all__ = [
     "ExecutionBackend",
     "SimBackend",
     "ThreadBackend",
     "ProcBackend",
+    "GossipBackend",
+    "PairingBoard",
+    "GossipTransport",
     "SocketTransport",
     "RoundRobinTurnstile",
     "RunControl",

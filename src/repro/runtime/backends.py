@@ -60,6 +60,13 @@ class SimBackend(ExecutionBackend):
     name = "sim"
 
     def run(self, plan: ExperimentPlan) -> RunResult:
+        if plan.config.algorithm == "ad-psgd":
+            # decentralized runs have no server for the event loop to drive;
+            # the gossip runtime's deterministic mode is the sim equivalent,
+            # so one sweep grid can span server-based and serverless cells
+            from repro.runtime.gossip_backend import GossipBackend
+
+            return GossipBackend(mode="sim").run(plan)
         from repro.core.trainer import DistributedTrainer
 
         return DistributedTrainer(plan.config, plan=plan).run()
@@ -104,6 +111,14 @@ def run_experiment(
     return executor.run(plan)
 
 
+def _make_gossip_backend(**options) -> ExecutionBackend:
+    """Lazy factory: gossip pulls in the topology layer only when used."""
+    from repro.runtime.gossip_backend import GossipBackend
+
+    return GossipBackend(**options)
+
+
 register_backend("sim", SimBackend)
 register_backend("thread", ThreadBackend)
 register_backend("proc", ProcBackend)
+register_backend("gossip", _make_gossip_backend)

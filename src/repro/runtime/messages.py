@@ -96,6 +96,38 @@ class BnStatsPush(Message):
 
 
 @dataclass(frozen=True)
+class WeightExchange(Message):
+    """Worker -> worker: one side of an AD-PSGD pairwise average.
+
+    ``worker`` is the *sender*.  Both members of a matched pair send their
+    flat parameter vector (plus BN running statistics, so the averaged
+    model evaluates consistently) before either blocks on receiving the
+    partner's — the send-then-receive ordering that, together with atomic
+    pairing, keeps gossip deadlock-free.  ``step`` is the sender's local
+    step count, used for the staleness/version-gap accounting.
+    """
+
+    weights: Optional[np.ndarray] = None
+    bn_stats: tuple = ()
+    step: int = 0
+
+
+@dataclass(frozen=True)
+class GossipReport(Message):
+    """Worker -> coordinator: one local step finished (gossip runtime).
+
+    The coordinator thread owns the trace/curve/evaluation exactly like
+    the server actor does for the centralized backends; workers report
+    each completed local step (with its loss and staleness) instead of
+    pushing gradients.
+    """
+
+    loss: float = 0.0
+    staleness: int = 0
+    local_step: int = 0
+
+
+@dataclass(frozen=True)
 class Shutdown(Message):
     """Either direction: unblock the receiver and end its loop."""
 

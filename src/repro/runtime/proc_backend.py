@@ -235,6 +235,11 @@ class ProcBackend:
     def run(self, plan: ExperimentPlan) -> RunResult:
         """Run the plan on real worker processes and return its RunResult."""
         config = plan.config
+        if config.algorithm == "ad-psgd":
+            raise ValueError(
+                "the proc backend is a parameter-server runtime; run 'ad-psgd' "
+                "on the gossip backend (or sim/thread, which delegate to it)"
+            )
         # bn_mode="local" evaluation borrows worker 0's running BN stats,
         # which live in a child here: the child streams them back at
         # shutdown (BnStatsPush) and the final evaluation below uses them.

@@ -41,7 +41,7 @@ the thread backend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -340,6 +340,12 @@ class ExperimentSession:
         self.curve: List[CurvePoint] = []
         self._last_eval_epoch = -1
         self._eval_indices = self._pick_eval_indices()
+        #: backend override for installing weights into ``eval_model``.
+        #: Server-based backends leave this None (the server's params are
+        #: the model); the gossip runtime sets it to average the worker
+        #: replicas, since decentralized runs have no single authoritative
+        #: parameter vector.
+        self.eval_sync: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     def _pick_eval_indices(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -355,6 +361,9 @@ class ExperimentSession:
     def sync_eval_model(self) -> None:
         """Install the server's weights + the appropriate BN stats for eval."""
         plan = self.plan
+        if self.eval_sync is not None:
+            self.eval_sync()
+            return
         set_flat_params(plan.eval_model, plan.server.params)
         if plan.server.bn_strategy is not None:
             load_bn_running_stats(plan.eval_model, plan.server.bn_strategy.current())
@@ -448,12 +457,19 @@ class ExperimentSession:
             self.plan.on_curve_point(point)
 
     # ------------------------------------------------------------------ #
-    def build_result(self, clock: float, backend: str = "sim", wall_time: float = 0.0) -> RunResult:
+    def build_result(
+        self,
+        clock: float,
+        backend: str = "sim",
+        wall_time: float = 0.0,
+        comm: Optional[Dict[str, float]] = None,
+    ) -> RunResult:
         """Assemble the RunResult from the plan + trace + curve.
 
         ``clock`` is the backend's final "now" (virtual seconds for the
         simulator, real elapsed seconds for the thread runtime);
-        ``wall_time`` is always real elapsed seconds.
+        ``wall_time`` is always real elapsed seconds.  ``comm`` is the
+        backend's per-endpoint byte accounting, when it keeps one.
         """
         plan = self.plan
         # Tables 2-3 report cost *per training iteration*: total section time
@@ -480,4 +496,6 @@ class ExperimentSession:
             seed=plan.config.seed,
             backend=backend,
             wall_time=wall_time,
+            topology=plan.config.topology if plan.config.algorithm == "ad-psgd" else "",
+            comm=dict(comm) if comm else {},
         )

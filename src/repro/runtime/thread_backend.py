@@ -137,6 +137,18 @@ class ThreadBackend:
     # ------------------------------------------------------------------ #
     def run(self, plan: ExperimentPlan) -> RunResult:
         """Run the plan to completion and return its RunResult."""
+        if plan.config.algorithm == "ad-psgd":
+            # decentralized runs exchange weights peer-to-peer: delegate to
+            # the gossip runtime's concurrent mode (same thread semantics,
+            # no server actor), so `--backend thread` covers both families
+            from repro.runtime.gossip_backend import GossipBackend
+
+            return GossipBackend(
+                mode="thread",
+                time_scale=self.time_scale,
+                compute_scale=self.compute_scale,
+                timeout=self.timeout,
+            ).run(plan)
         session = ExperimentSession(plan)
         num_workers = plan.config.num_workers
         transport = InProcTransport(
@@ -189,7 +201,9 @@ class ThreadBackend:
             "thread backend finished: algo=%s M=%d updates=%d wall=%.2fs",
             plan.config.algorithm, num_workers, plan.server.batches_processed, elapsed,
         )
-        return session.build_result(elapsed, backend=self.name, wall_time=elapsed)
+        return session.build_result(
+            elapsed, backend=self.name, wall_time=elapsed, comm=transport.comm_summary()
+        )
 
     # ------------------------------------------------------------------ #
     # worker threads (the server actor loop lives in runtime.server_actor,

@@ -22,10 +22,13 @@ import queue
 import threading
 import time
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.network import NetworkModel
 from repro.runtime.messages import Message
+
+if TYPE_CHECKING:  # avoid a hard import cycle with repro.cluster.topology
+    from repro.cluster.topology import TopologyModel
 
 
 class Mailbox:
@@ -97,6 +100,29 @@ class InProcTransport:
         self.time_scale = float(time_scale)
         self.server_inbox = Mailbox()
         self.worker_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
+        # byte accounting: everything through each endpoint, both directions
+        # (the gossip scaling bench compares busiest endpoints across
+        # architectures, so both transports keep the same counters)
+        self._bytes_lock = threading.Lock()
+        self.server_bytes = 0
+        self.worker_bytes: List[int] = [0] * self.num_workers
+
+    # ------------------------------------------------------------------ #
+    def _count(self, worker: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        with self._bytes_lock:
+            self.server_bytes += nbytes
+            self.worker_bytes[worker] += nbytes
+
+    def comm_summary(self) -> Dict[str, float]:
+        """Per-endpoint byte totals (server = both directions through it)."""
+        with self._bytes_lock:
+            return {
+                "server_bytes": float(self.server_bytes),
+                "max_worker_bytes": float(max(self.worker_bytes, default=0)),
+                "total_bytes": float(self.server_bytes),
+            }
 
     # ------------------------------------------------------------------ #
     def _link_delay(self, worker: int, nbytes: int) -> float:
@@ -107,6 +133,7 @@ class InProcTransport:
 
     def to_server(self, worker: int, message: Message, nbytes: int = 0) -> None:
         """Worker -> server send; the emulated uplink delays the caller."""
+        self._count(worker, nbytes)
         delay = self._link_delay(worker, nbytes)
         if delay > 0:
             time.sleep(delay)
@@ -118,6 +145,7 @@ class InProcTransport:
         Never sleeps in the caller: the server actor must keep draining its
         inbox, so the delay is carried as a deadline the receiver sleeps out.
         """
+        self._count(worker, nbytes)
         delay = self._link_delay(worker, nbytes)
         not_before = time.monotonic() + delay if delay > 0 else 0.0
         self.worker_inboxes[worker].put(message, not_before=not_before)
@@ -126,3 +154,76 @@ class InProcTransport:
         """Deliver ``message`` to every worker mailbox immediately."""
         for inbox in self.worker_inboxes:
             inbox.put(message)
+
+
+class GossipTransport:
+    """Peer-to-peer message fabric for the decentralized (gossip) runtime.
+
+    Same mailbox machinery as :class:`InProcTransport`, different wiring:
+    there is no server endpoint.  Each worker owns a *peer* inbox (where a
+    matched partner's :class:`~repro.runtime.messages.WeightExchange`
+    lands) and a lightweight *coordinator* inbox collects per-step
+    :class:`~repro.runtime.messages.GossipReport` control messages — the
+    coordinator does bookkeeping only (trace/curve/eval), no parameters
+    ever flow through it, which is the architectural point the scaling
+    bench measures.
+
+    Link emulation charges ``time_scale * edge transfer_time`` of real
+    delay in the *sender* for peer sends (its uplink is busy shipping the
+    weights), using the topology's per-edge link models.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        topology: Optional["TopologyModel"] = None,
+        time_scale: float = 0.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.num_workers = int(num_workers)
+        self.topology = topology
+        self.time_scale = float(time_scale)
+        self.coordinator_inbox = Mailbox()
+        self.peer_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
+        self._bytes_lock = threading.Lock()
+        self.coordinator_bytes = 0
+        self.worker_bytes: List[int] = [0] * self.num_workers
+        self._wire_bytes = 0  # every byte once, regardless of endpoint
+
+    # ------------------------------------------------------------------ #
+    def to_peer(self, sender: int, receiver: int, message: Message, nbytes: int = 0) -> None:
+        """Worker -> worker send; the emulated uplink delays the caller."""
+        if nbytes > 0:
+            with self._bytes_lock:
+                self.worker_bytes[sender] += nbytes
+                self.worker_bytes[receiver] += nbytes
+                self._wire_bytes += nbytes
+        if self.topology is not None and self.time_scale > 0 and nbytes > 0:
+            time.sleep(self.time_scale * self.topology.transfer_time(sender, receiver, nbytes))
+        self.peer_inboxes[receiver].put(message)
+
+    def to_coordinator(self, worker: int, message: Message, nbytes: int = 0) -> None:
+        """Worker -> coordinator control send (reports, never parameters)."""
+        if nbytes > 0:
+            with self._bytes_lock:
+                self.coordinator_bytes += nbytes
+                self.worker_bytes[worker] += nbytes
+                self._wire_bytes += nbytes
+        self.coordinator_inbox.put(message)
+
+    def wake_all_workers(self, message: Message) -> None:
+        """Deliver ``message`` to every peer mailbox immediately."""
+        for inbox in self.peer_inboxes:
+            inbox.put(message)
+
+    def comm_summary(self) -> Dict[str, float]:
+        """Per-endpoint byte totals; the busiest endpoint is a *worker*."""
+        with self._bytes_lock:
+            return {
+                "coordinator_bytes": float(self.coordinator_bytes),
+                "max_worker_bytes": float(max(self.worker_bytes, default=0)),
+                "total_bytes": float(self._wire_bytes),
+            }

@@ -83,6 +83,34 @@ class TestFormatting:
         out = ascii_scatter([1, 2, 3], [1.1, 2.1, 2.9], title="pred")
         assert "actual" in out and "predicted" in out
 
+    def test_ascii_plot_single_point(self):
+        # one sample: both axis ranges are degenerate and get padded, the
+        # marker still lands inside the canvas
+        out = ascii_plot({"dot": ([0.5], [2.0])}, width=12, height=5)
+        assert "o" in out
+        assert "dot" in out
+
+    def test_ascii_plot_constant_y_across_series(self):
+        # every y identical across *all* series: the padded range must not
+        # divide by zero, and both markers must render
+        out = ascii_plot(
+            {"a": ([0, 1], [3.0, 3.0]), "b": ([0, 1], [3.0, 3.0])},
+            width=16,
+            height=4,
+        )
+        assert "o" in out and "x" in out
+
+    def test_ascii_plot_empty_arrays_raise(self):
+        with pytest.raises(ValueError, match="empty series"):
+            ascii_plot({"void": ([], [])})
+
+    def test_ascii_scatter_single_point_and_empty_prediction(self):
+        out = ascii_scatter([1.5], [1.4])
+        assert "actual" in out
+        # a predictor that produced nothing still plots the actuals
+        out = ascii_scatter([1.0, 2.0], [])
+        assert "actual" in out
+
 
 class TestWorkloads:
     def test_profile_default(self, monkeypatch):

@@ -1,0 +1,157 @@
+"""Peer topologies: graph structure, round matchings, per-edge links."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BipartiteTopology,
+    CompleteTopology,
+    LinkModel,
+    RingTopology,
+    available_topologies,
+    make_topology,
+)
+from repro.cluster.topology import TopologyModel, register_topology
+
+
+# ---------------------------------------------------------------------- #
+# graph structure
+# ---------------------------------------------------------------------- #
+def test_registry_has_builtin_graphs():
+    assert set(available_topologies()) >= {"ring", "bipartite", "complete"}
+    for name in ("ring", "bipartite", "complete"):
+        assert make_topology(name, 4).name == name
+
+
+def test_ring_structure():
+    topo = RingTopology(5)
+    assert topo.neighbors(0) == (1, 4)
+    assert topo.neighbors(2) == (1, 3)
+    assert all(topo.degree(i) == 2 for i in range(5))
+    assert topo.edges() == [(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]
+
+
+def test_ring_degenerate_sizes():
+    assert RingTopology(1).neighbors(0) == ()
+    assert RingTopology(1).edges() == []
+    # two workers share ONE edge, not a double edge
+    assert RingTopology(2).neighbors(0) == (1,)
+    assert RingTopology(2).edges() == [(0, 1)]
+    # three workers: the cycle is a triangle
+    assert RingTopology(3).neighbors(0) == (1, 2)
+
+
+def test_bipartite_structure():
+    topo = BipartiteTopology(6)
+    assert topo.neighbors(0) == (1, 3, 5)
+    assert topo.neighbors(3) == (0, 2, 4)
+    # every edge crosses the odd-even partition
+    assert all((a % 2) != (b % 2) for a, b in topo.edges())
+    assert len(topo.edges()) == 9
+
+
+def test_complete_structure():
+    topo = CompleteTopology(4)
+    assert topo.neighbors(2) == (0, 1, 3)
+    assert len(topo.edges()) == 6
+    assert all(topo.degree(i) == 3 for i in range(4))
+
+
+def test_neighbors_validates_worker_ids():
+    with pytest.raises(ValueError, match="out of range"):
+        RingTopology(4).neighbors(4)
+    with pytest.raises(ValueError, match="num_workers"):
+        RingTopology(0)
+    with pytest.raises(ValueError, match="heterogeneity"):
+        RingTopology(4, heterogeneity=1.0)
+
+
+def test_self_loop_neighbors_rejected():
+    class Loopy(TopologyModel):
+        name = "loopy"
+
+        def neighbors(self, worker):
+            return (worker,)
+
+    with pytest.raises(ValueError, match="itself"):
+        Loopy(2)
+
+
+def test_register_topology_rejects_duplicates():
+    with pytest.raises(Exception):
+        register_topology("ring", RingTopology)
+
+
+# ---------------------------------------------------------------------- #
+# gossip scheduling
+# ---------------------------------------------------------------------- #
+def test_partner_is_always_a_neighbor():
+    topo = RingTopology(8)
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        for m in range(8):
+            assert topo.partner(m, rng) in topo.neighbors(m)
+    assert RingTopology(1).partner(0, rng) is None
+
+
+@pytest.mark.parametrize("name", ["ring", "bipartite", "complete"])
+@pytest.mark.parametrize("n", [2, 4, 5, 8])
+def test_round_pairs_is_a_conflict_free_matching(name, n):
+    topo = make_topology(name, n)
+    rng = np.random.default_rng(11)
+    for round_index in range(20):
+        pairs = topo.round_pairs(round_index, rng)
+        touched = [w for pair in pairs for w in pair]
+        assert len(touched) == len(set(touched))  # nobody in two pairs
+        for a, b in pairs:
+            assert a < b
+            assert b in topo.neighbors(a)
+        # maximal: no two unmatched workers are still adjacent
+        unmatched = set(range(n)) - set(touched)
+        for w in unmatched:
+            assert not (set(topo.neighbors(w)) & unmatched)
+        # on the all-edges-cross graphs a maximal matching is perfect
+        if n % 2 == 0 and name in ("bipartite", "complete"):
+            assert len(pairs) == n // 2
+
+
+def test_round_pairs_deterministic_per_seed():
+    def schedule(seed):
+        topo = make_topology("ring", 6)
+        rng = np.random.default_rng(seed)
+        return [topo.round_pairs(r, rng) for r in range(10)]
+
+    assert schedule(5) == schedule(5)
+    assert schedule(5) != schedule(6)
+
+
+# ---------------------------------------------------------------------- #
+# per-edge links
+# ---------------------------------------------------------------------- #
+def test_link_lookup_is_symmetric_and_validated():
+    topo = RingTopology(4)
+    assert topo.link(0, 1) is topo.link(1, 0)
+    with pytest.raises(ValueError, match="not neighbors"):
+        topo.link(0, 2)
+    with pytest.raises(ValueError, match="not neighbors"):
+        topo.transfer_time(0, 2, 1000)
+
+
+def test_heterogeneity_differentiates_edges_deterministically():
+    link = LinkModel(base_latency=0.01, bandwidth=1e6, jitter_sigma=0.0)
+    topo = make_topology("ring", 6, link=link, heterogeneity=0.5, seed=42)
+    latencies = [topo.link(a, b).base_latency for a, b in topo.edges()]
+    assert len(set(latencies)) > 1  # edges are persistently different
+    again = make_topology("ring", 6, link=link, heterogeneity=0.5, seed=42)
+    assert latencies == [again.link(a, b).base_latency for a, b in again.edges()]
+    # all factors within the declared band
+    assert all(0.005 <= l <= 0.015 for l in latencies)
+
+
+def test_transfer_time_positive_and_seeded():
+    topo = make_topology("bipartite", 4, seed=9)
+    t1 = [topo.transfer_time(0, 1, 10_000) for _ in range(5)]
+    topo2 = make_topology("bipartite", 4, seed=9)
+    t2 = [topo2.transfer_time(0, 1, 10_000) for _ in range(5)]
+    assert t1 == t2
+    assert all(t > 0 for t in t1)

@@ -1,0 +1,81 @@
+"""Grid.sample: deterministic subsampling that composes with guards and *."""
+
+import pytest
+
+from repro.experiments import Grid, Sweep
+
+
+def big_grid() -> Grid:
+    return (
+        Sweep("algorithm", ["asgd", "lc-asgd", "ad-psgd"])
+        * Sweep("num_workers", [2, 4])
+        * Sweep("seed", [0, 1, 2, 3, 4, 5])
+    )
+
+
+def test_sample_is_deterministic_per_seed():
+    grid = big_grid()
+    a = grid.sample(6, method="random", seed=3).points()
+    b = grid.sample(6, method="random", seed=3).points()
+    assert a == b
+    assert len(a) == 6
+    # a different seed draws a different subset of the 36 points
+    assert a != grid.sample(6, method="random", seed=4).points()
+
+
+def test_sampled_points_are_real_grid_points():
+    grid = big_grid()
+    full = grid.points()
+    for method in ("random", "lhs"):
+        for point in grid.sample(8, method=method, seed=1).points():
+            assert point in full
+
+
+def test_sample_caps_at_grid_size():
+    grid = Grid(seed=[0, 1, 2])
+    assert len(grid.sample(99).points()) == 3
+    assert grid.sample(99).points() == grid.points()
+
+
+def test_sample_validates_arguments():
+    grid = Grid(seed=[0, 1])
+    with pytest.raises(ValueError, match="sample size"):
+        grid.sample(0)
+    with pytest.raises(ValueError, match="method"):
+        grid.sample(1, method="sobol")
+    with pytest.raises(ValueError, match="empty grid"):
+        grid.when(lambda p: False).sample(1)
+
+
+def test_lhs_stratifies_every_axis():
+    grid = Sweep("algorithm", ["asgd", "lc-asgd", "ad-psgd"]) * Sweep(
+        "seed", [0, 1, 2, 3, 4, 5]
+    )
+    points = grid.sample(6, method="lhs", seed=0).points()
+    # six stratified draws over three algorithms: all of them show up
+    # (a uniform draw of six could easily miss one)
+    assert {p["algorithm"] for p in points} == {"asgd", "lc-asgd", "ad-psgd"}
+
+
+def test_sample_respects_axis_guards():
+    grid = Sweep("algorithm", ["asgd", "lc-asgd"]) * Sweep(
+        "lc_lambda", [0.3, 0.5, 0.7], when=lambda p: p["algorithm"] == "lc-asgd"
+    )
+    for method in ("random", "lhs"):
+        for point in grid.sample(3, method=method, seed=2).points():
+            if point["algorithm"] == "asgd":
+                assert "lc_lambda" not in point
+            else:
+                assert point["lc_lambda"] in (0.3, 0.5, 0.7)
+
+
+def test_sample_survives_multiplication_by_new_axis():
+    sampled = big_grid().sample(5, method="random", seed=7)
+    base_points = sampled.points()
+    expanded = sampled * Sweep("topology", ["ring", "bipartite"])
+    points = expanded.points()
+    # every sampled point expands across the new axis, nothing else leaks in
+    assert len(points) == 2 * len(base_points)
+    for base in base_points:
+        for topology in ("ring", "bipartite"):
+            assert {**base, "topology": topology} in points

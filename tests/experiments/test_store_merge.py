@@ -115,6 +115,9 @@ class TestFilters:
         parsed = parse_filters(["tag=sweep", "algo=lc-asgd", "num_workers=4"])
         assert parsed == {"tag": "sweep", "algorithm": "lc-asgd", "num_workers": "4"}
 
+    def test_parse_filters_topology_alias(self):
+        assert parse_filters(["topo=ring"]) == {"topology": "ring"}
+
     def test_parse_rejects_malformed_and_duplicates(self):
         with pytest.raises(ValueError, match="name=value"):
             parse_filters(["justaname"])
@@ -135,6 +138,26 @@ class TestFilters:
         assert sum(record_matches(r, {"backend": "sim"}) for r in records) == 2
         assert sum(record_matches(r, {"num_workers": "2"}) for r in records) == 2
         assert sum(record_matches(r, {"no_such_field": "x"}) for r in records) == 0
+
+    def test_topology_filter_matches_decentralized_runs_only(self, tmp_path):
+        # every config carries the topology field (default "ring"), but a
+        # parameter-server run never reads it — the filter must not match
+        # asgd records just because the default is in their spec document
+        store = ResultStore(tmp_path)
+        store.put(make_spec(seed=1, algorithm="asgd"), make_result())
+        store.put(
+            ExperimentSpec(
+                config=TrainingConfig.tiny(
+                    algorithm="ad-psgd", num_workers=2, topology="ring", seed=1
+                )
+            ),
+            make_result(algorithm="ad-psgd"),
+        )
+        records = list(store.records())
+        matched = [r for r in records if record_matches(r, {"topology": "ring"})]
+        assert len(matched) == 1
+        assert matched[0].spec["config"]["algorithm"] == "ad-psgd"
+        assert sum(record_matches(r, {"topology": "bipartite"}) for r in records) == 0
 
     def test_summarize_with_filters(self, tmp_path):
         store = ResultStore(tmp_path)
