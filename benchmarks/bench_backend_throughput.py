@@ -23,10 +23,13 @@ BACKENDS = ("sim", "thread", "proc")
 # decentralized row: ad-psgd has no server, so it runs on the gossip
 # runtime whichever backend name dispatches to it
 COMBOS = tuple((a, b) for a in ALGOS for b in BACKENDS) + (("ad-psgd", "gossip"),)
+# the codec ablation rides the same workload: every codec moves the same
+# updates over real sockets, so wire bytes/update is directly comparable
+CODECS = ("raw32", "fp16", "topk")
 
 
-def _measure(algorithm: str, backend: str):
-    config = throughput_workload(algorithm=algorithm, num_workers=4)
+def _measure(algorithm: str, backend: str, codec: str = "raw32"):
+    config = throughput_workload(algorithm=algorithm, num_workers=4, comm_codec=codec)
     start = time.perf_counter()
     result = run_experiment(config, backend=backend)
     elapsed = time.perf_counter() - start
@@ -35,7 +38,13 @@ def _measure(algorithm: str, backend: str):
 
 def test_backend_throughput(benchmark):
     def run_all():
-        return {combo: _measure(*combo) for combo in COMBOS}
+        out = {combo: _measure(*combo) for combo in COMBOS}
+        # raw32 is literally a pass-through, so its proc row doubles as
+        # the codec baseline; only the compressors need extra runs
+        out[("asgd", "proc", "raw32")] = out[("asgd", "proc")]
+        for codec in CODECS[1:]:
+            out[("asgd", "proc", codec)] = _measure("asgd", "proc", codec)
+        return out
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -57,6 +66,26 @@ def test_backend_throughput(benchmark):
         title="Backend throughput (4 workers, fixed update budget)",
     ))
 
+    codec_rows = []
+    wire_per_update = {}
+    for codec in CODECS:
+        result, ups = results[("asgd", "proc", codec)]
+        per_update = result.comm["wire_bytes"] / max(result.total_updates, 1)
+        wire_per_update[codec] = per_update
+        codec_rows.append([
+            codec,
+            result.total_updates,
+            f"{ups:.1f}",
+            f"{per_update / 1024:.2f}",
+            f"{result.comm['wire_bytes'] / 1e6:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["codec", "updates", "updates/sec", "wire KiB/update", "wire MB total"],
+        codec_rows,
+        title="Proc wire traffic by gradient codec (asgd, 4 workers)",
+    ))
+
     for algo, backend in COMBOS:
         result, ups = results[(algo, backend)]
         assert result.total_updates == throughput_workload(algo).max_updates
@@ -65,8 +94,19 @@ def test_backend_throughput(benchmark):
     # the concurrent runtimes must exhibit genuine (nonzero) async staleness
     assert results[("asgd", "thread")][0].staleness["mean"] > 0
     assert results[("asgd", "proc")][0].staleness["mean"] > 0
+    # half-precision must actually shrink the stream, not just the payloads
+    assert wire_per_update["raw32"] >= 1.9 * wire_per_update["fp16"]
+    assert wire_per_update["topk"] < wire_per_update["raw32"]
 
     record_trajectory("backend_throughput", {
-        f"{algo.replace('-', '_')}_{backend}_updates_per_sec": ups
-        for (algo, backend), (_, ups) in results.items()
+        **{
+            f"{algo.replace('-', '_')}_{backend}_updates_per_sec": ups
+            for key, (_, ups) in results.items()
+            if len(key) == 2
+            for algo, backend in [key]
+        },
+        **{
+            f"asgd_proc_{codec}_wire_bytes_per_update": wire_per_update[codec]
+            for codec in CODECS
+        },
     })

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core import TrainingConfig
-from repro.core.config import ALGORITHMS, TOPOLOGIES
+from repro.core.config import ALGORITHMS, COMM_CODECS, TOPOLOGIES
 from repro.data.registry import dataset_names
 from repro.experiments import (
     Campaign,
@@ -78,6 +78,7 @@ def _make_config(
     algorithm: str,
     seed: Optional[int] = None,
     workers: Optional[int] = None,
+    codec: Optional[str] = None,
 ) -> TrainingConfig:
     """Resolve one TrainingConfig from CLI flags (sgd-normalization is
     config's job now, not ours)."""
@@ -91,6 +92,10 @@ def _make_config(
         overrides["model_kwargs"] = {}  # preset kwargs belong to its own model
     if getattr(args, "topology", None) is not None:
         overrides["topology"] = args.topology
+    if codec is not None:
+        overrides["comm_codec"] = codec
+    elif getattr(args, "comm_codec", None) is not None:
+        overrides["comm_codec"] = args.comm_codec
     return factory(
         algorithm=algorithm,
         num_workers=int(args.workers) if workers is None else workers,
@@ -110,9 +115,10 @@ def _make_spec(
     algorithm: str,
     seed: Optional[int] = None,
     workers: Optional[int] = None,
+    codec: Optional[str] = None,
 ) -> ExperimentSpec:
     return ExperimentSpec(
-        config=_make_config(args, algorithm, seed=seed, workers=workers),
+        config=_make_config(args, algorithm, seed=seed, workers=workers, codec=codec),
         backend=args.backend,
         backend_options=_backend_options(args),
     )
@@ -164,6 +170,13 @@ def _add_common(parser: argparse.ArgumentParser, multi_worker: bool = False) -> 
         default=None,
         help="ad-psgd peer graph (ring, bipartite, complete); "
              "ignored by the server-based algorithms",
+    )
+    parser.add_argument(
+        "--comm-codec",
+        dest="comm_codec",
+        default=None,
+        help="gradient codec on the wire (raw32, fp16, topk); sweep accepts "
+             "a comma-separated list to add a codec axis to the grid",
     )
     parser.add_argument(
         "--deterministic",
@@ -374,9 +387,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         * Sweep("num_workers", workers)
         * Sweep("seed", seeds)
     )
+    if args.comm_codec is not None:
+        # `--comm-codec fp16,topk` makes the codec one more grid axis, so
+        # compression ablations (dc-asgd x codecs) run as one sweep
+        codecs = [c.strip() for c in args.comm_codec.split(",") if c.strip()]
+        unknown = sorted(set(codecs) - set(COMM_CODECS))
+        if unknown:
+            raise SystemExit(f"unknown codec(s) {', '.join(unknown)}; "
+                             f"choose from {', '.join(COMM_CODECS)}")
+        if not codecs:
+            raise SystemExit("--comm-codec expects at least one codec")
+        grid = grid * Sweep("comm_codec", codecs)
     specs = [
         _make_spec(
-            args, point["algorithm"], seed=point["seed"], workers=point["num_workers"]
+            args,
+            point["algorithm"],
+            seed=point["seed"],
+            workers=point["num_workers"],
+            codec=point.get("comm_codec"),
         ).with_tags("sweep")
         for point in grid.points()
     ]

@@ -15,6 +15,7 @@ ALGORITHMS = ("sgd", "ssgd", "asgd", "dc-asgd", "lc-asgd", "sa-asgd", "ad-psgd")
 BN_MODES = ("local", "replace", "async")
 COMPENSATION_MODES = ("scale", "sensitivity", "damping")
 TOPOLOGIES = ("ring", "bipartite", "complete")
+COMM_CODECS = ("raw32", "fp16", "topk")
 
 
 @dataclass
@@ -108,6 +109,13 @@ class TrainingConfig:
     # one canonical serialization for every algorithm).
     topology: str = "ring"
 
+    # Gradient codec applied on the wire (repro.runtime.codecs): raw32 keeps
+    # the float32 framing, fp16 halves every array, topk ships the top 10%
+    # of gradient coordinates with error feedback.  Honored by the backends
+    # that move bytes (thread/proc/fleet); the pure simulator ignores it
+    # (kept in the spec hash anyway, like ``topology``).
+    comm_codec: str = "raw32"
+
     # model / dataset
     model: str = "mlp"  # any name in repro.nn.registry (mlp, resnet18, ...)
     model_kwargs: Dict = field(default_factory=dict)
@@ -135,6 +143,10 @@ class TrainingConfig:
             )
         if self.topology not in TOPOLOGIES:
             raise ValueError(f"topology must be one of {TOPOLOGIES}, got {self.topology!r}")
+        if self.comm_codec not in COMM_CODECS:
+            raise ValueError(
+                f"comm_codec must be one of {COMM_CODECS}, got {self.comm_codec!r}"
+            )
         if self.algorithm == "sgd":
             # sequential SGD runs with exactly one worker.  Normalizing here
             # (rather than raising) is what lets sweep grids include "sgd"

@@ -79,8 +79,12 @@ class RunResult:
     backend: str = "sim"  # which execution backend produced this result
     wall_time: float = 0.0  # real elapsed seconds, whatever the backend
     topology: str = ""  # peer graph for decentralized runs, "" for server-based
-    # communication accounting: per-endpoint byte totals, e.g.
-    # {"server_bytes": ..., "max_worker_bytes": ..., "total_bytes": ...}
+    # gradient codec the run's transport honored ("" when the backend moves
+    # no bytes and ignored the configured comm_codec, e.g. the simulator)
+    codec: str = ""
+    # communication accounting: the unified CommStats keys, e.g.
+    # {"messages": ..., "logical_bytes": ..., "wire_bytes": ...,
+    #  "server_bytes": ..., "max_worker_bytes": ..., "total_bytes": ...}
     comm: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -157,6 +161,7 @@ class RunResult:
             "backend": self.backend,
             "wall_time": self.wall_time,
             "topology": self.topology,
+            "codec": self.codec,
             "comm": dict(self.comm),
         }
 
@@ -178,8 +183,9 @@ class RunResult:
             seed=int(payload["seed"]),
             backend=payload["backend"],
             wall_time=float(payload["wall_time"]),
-            # absent in results stored before decentralized runs existed
+            # absent in results stored before decentralized runs / codecs existed
             topology=payload.get("topology", ""),
+            codec=payload.get("codec", ""),
             comm={k: float(v) for k, v in payload.get("comm", {}).items()},
         )
 

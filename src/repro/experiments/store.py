@@ -224,7 +224,12 @@ class ResultStore:
 # record filtering (the CLI's ``report --filter``)
 # ---------------------------------------------------------------------- #
 #: filter-name aliases: short CLI spellings -> the field they mean
-FILTER_ALIASES = {"algo": "algorithm", "workers": "num_workers", "topo": "topology"}
+FILTER_ALIASES = {
+    "algo": "algorithm",
+    "workers": "num_workers",
+    "topo": "topology",
+    "codec": "comm_codec",
+}
 
 
 def parse_filters(items: Sequence[str]) -> Dict[str, str]:
@@ -278,6 +283,17 @@ def record_matches(record: StoreRecord, filters: Dict[str, str]) -> bool:
             )
             if effective != value:
                 return False
+        elif name == "comm_codec":
+            # same effective-value contract as topology: only the backends
+            # that move bytes honor the codec (RunResult.codec is "" on the
+            # pure simulator and on gossip runs)
+            honored = (
+                str(spec.get("backend", "")) in ("thread", "proc")
+                and str(config.get("algorithm", "")) != "ad-psgd"
+            )
+            effective = str(config.get(name, "raw32")) if honored else ""
+            if effective != value:
+                return False
         else:
             if name not in config or str(config[name]) != value:
                 return False
@@ -321,21 +337,31 @@ def summarize_results(
             f"scenarios ({len(scenarios)}) and results ({len(results)}) must "
             f"be parallel sequences"
         )
-    cells: Dict[Tuple[str, str, str, int, str], List[RunResult]] = {}
+    cells: Dict[Tuple[str, str, str, str, int, str], List[RunResult]] = {}
     for result, scenario in zip(results, scenarios):
         cells.setdefault(
-            (scenario, result.algorithm, result.topology, result.num_workers, result.backend),
+            (
+                scenario,
+                result.algorithm,
+                result.topology,
+                result.codec,
+                result.num_workers,
+                result.backend,
+            ),
             [],
         ).append(result)
 
     rows: List[Dict[str, Any]] = []
-    for (scenario, algorithm, topology, workers, backend), runs in sorted(cells.items()):
+    for (scenario, algorithm, topology, codec, workers, backend), runs in sorted(
+        cells.items()
+    ):
         final_errors = np.array([r.final_test_error for r in runs], dtype=np.float64)
         rows.append(
             {
                 "scenario": scenario,
                 "algorithm": algorithm,
                 "topology": topology,
+                "codec": codec,
                 "num_workers": workers,
                 "backend": backend,
                 "runs": len(runs),
@@ -349,6 +375,13 @@ def summarize_results(
                 "clock_time": float(np.mean([r.total_virtual_time for r in runs])),
                 "loss_pred_ms": float(
                     np.mean([r.timers.get("loss_pred_ms", 0.0) for r in runs])
+                ),
+                # unified CommStats keys (zero on runs that moved no bytes)
+                "wire_mb": float(
+                    np.mean([r.comm.get("wire_bytes", 0.0) for r in runs]) / 1e6
+                ),
+                "logical_mb": float(
+                    np.mean([r.comm.get("logical_bytes", 0.0) for r in runs]) / 1e6
                 ),
             }
         )
@@ -369,12 +402,18 @@ def format_summary(rows: Sequence[Dict[str, Any]]) -> str:
     # decentralized rows carry a peer graph; the column appears only when
     # at least one run has one (server-only tables stay compact)
     show_topology = any(row.get("topology", "") for row in rows)
+    # codec and wire columns appear when some run honored a codec / moved
+    # bytes — pure-sim tables stay exactly as compact as before
+    show_codec = any(row.get("codec", "") for row in rows)
+    show_wire = any(row.get("wire_mb", 0.0) > 0 for row in rows)
     header = (
         (f"{'scenario':<{scen_w}} " if show_scenario else "")
         + f"{'algorithm':<10} "
         + (f"{'topology':<9} " if show_topology else "")
+        + (f"{'codec':<6} " if show_codec else "")
         + f"{'M':>3} {'backend':<7} {'runs':>4} "
         f"{'test err':>9} {'±std':>7} {'best':>7} {'stale':>6} {'clock(s)':>9}"
+        + (f" {'wire MB':>8}" if show_wire else "")
     )
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -382,9 +421,11 @@ def format_summary(rows: Sequence[Dict[str, Any]]) -> str:
             (f"{row.get('scenario', ''):<{scen_w}} " if show_scenario else "")
             + f"{row['algorithm']:<10} "
             + (f"{row.get('topology', '') or '-':<9} " if show_topology else "")
+            + (f"{row.get('codec', '') or '-':<6} " if show_codec else "")
             + f"{row['num_workers']:>3} {row['backend']:<7} "
             f"{row['runs']:>4} {row['final_test_error']:>8.2%} "
             f"{row['final_test_error_std']:>7.4f} {row['best_test_error']:>6.2%} "
             f"{row['mean_staleness']:>6.1f} {row['clock_time']:>9.1f}"
+            + (f" {row.get('wire_mb', 0.0):>8.2f}" if show_wire else "")
         )
     return "\n".join(lines)

@@ -1,21 +1,22 @@
 """Fleet control-frame vocabulary: how a scheduler and an agent talk.
 
-Every fleet frame is a :func:`repro.runtime.wire.encode_control` JSON
+Every fleet frame is a typed :class:`~repro.runtime.wire.ControlFrame`
 document riding the same length-prefixed :class:`~repro.runtime.wire.
 FrameConnection` framing the proc backend's handshake uses — pickle-free
-by construction, version-checked at both layers (the wire header carries
-``PROTOCOL_VERSION``; fleet frames additionally carry ``FLEET_VERSION``
-so a scheduler never feeds jobs to an agent speaking a different job
-schema).  The frame types::
+by construction, version-checked at both layers through the one
+:func:`~repro.runtime.wire.check_protocol_version` path (the wire header
+carries ``PROTOCOL_VERSION``; every fleet frame carries ``FLEET_VERSION``
+as the control version, so a scheduler never feeds jobs to an agent
+speaking a different job schema).  The frame types (kind {body})::
 
-    scheduler -> agent   hello                       open the session
+    scheduler -> agent   hello {}                    open the session
     agent -> scheduler   welcome {slots, agent}      capacity announcement
     scheduler -> agent   job {id, spec}              one ExperimentSpec cell
     agent -> scheduler   curve_point {id, point}     streamed evaluation
     agent -> scheduler   result {id, result}         the finished RunResult
     agent -> scheduler   job_error {id, error, tb}   the cell itself raised
     agent -> scheduler   heartbeat {n}               liveness pulse
-    agent -> scheduler   busy {}                     already serving a peer
+    agent -> scheduler   busy {agent}                already serving a peer
 
 Specs travel as their :meth:`~repro.experiments.spec.ExperimentSpec.
 to_dict` document and are rebuilt with :meth:`ExperimentSpec.from_dict`,
@@ -35,13 +36,12 @@ import numpy as np
 
 from repro.core.metrics import RunResult
 from repro.experiments.spec import ExperimentSpec
+from repro.runtime.wire import ControlFrame
 
-#: bumped whenever the fleet frame schema changes incompatibly; hello and
-#: welcome both carry it and either side refuses a mismatch
-FLEET_VERSION = 1
-
-#: every fleet frame names its type under this key
-KIND_KEY = "fleet"
+#: bumped whenever the fleet frame schema changes incompatibly; every
+#: frame carries it and either side refuses a mismatch.  v2 = frames are
+#: ControlFrame documents ({"ctl": kind, "cv": v, "body": {...}}).
+FLEET_VERSION = 2
 
 
 class FleetProtocolError(RuntimeError):
@@ -67,76 +67,86 @@ def to_jsonable(value: Any) -> Any:
 
 
 # ---------------------------------------------------------------------- #
-# frame builders
+# frame builders (each returns a JSON-able ControlFrame document)
 # ---------------------------------------------------------------------- #
+def _frame(kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
+    return ControlFrame(kind, body, v=FLEET_VERSION).to_doc()
+
+
 def hello_frame() -> Dict[str, Any]:
-    return {KIND_KEY: "hello", "v": FLEET_VERSION}
+    return _frame("hello", {})
 
 
 def welcome_frame(slots: int, agent: str) -> Dict[str, Any]:
-    return {KIND_KEY: "welcome", "v": FLEET_VERSION, "slots": int(slots), "agent": agent}
+    return _frame("welcome", {"slots": int(slots), "agent": agent})
 
 
 def busy_frame(agent: str) -> Dict[str, Any]:
-    return {KIND_KEY: "busy", "v": FLEET_VERSION, "agent": agent}
+    return _frame("busy", {"agent": agent})
 
 
 def job_frame(job_id: str, spec: ExperimentSpec) -> Dict[str, Any]:
-    return {KIND_KEY: "job", "id": str(job_id), "spec": to_jsonable(spec.to_dict())}
+    return _frame("job", {"id": str(job_id), "spec": to_jsonable(spec.to_dict())})
 
 
 def curve_point_frame(job_id: str, point) -> Dict[str, Any]:
-    return {KIND_KEY: "curve_point", "id": str(job_id), "point": to_jsonable(point.to_dict())}
+    return _frame("curve_point", {"id": str(job_id), "point": to_jsonable(point.to_dict())})
 
 
 def result_frame(job_id: str, result: RunResult) -> Dict[str, Any]:
-    return {KIND_KEY: "result", "id": str(job_id), "result": to_jsonable(result.to_dict())}
+    return _frame("result", {"id": str(job_id), "result": to_jsonable(result.to_dict())})
 
 
 def job_error_frame(job_id: str, error: str, tb: str = "") -> Dict[str, Any]:
-    return {KIND_KEY: "job_error", "id": str(job_id), "error": str(error), "traceback": tb}
+    return _frame("job_error", {"id": str(job_id), "error": str(error), "traceback": tb})
 
 
 def heartbeat_frame(n: int) -> Dict[str, Any]:
-    return {KIND_KEY: "heartbeat", "n": int(n)}
+    return _frame("heartbeat", {"n": int(n)})
+
+
+#: the vocabulary: kind -> body fields that must be present
+_FRAME_KINDS: Dict[str, Tuple[str, ...]] = {
+    "hello": (),
+    "welcome": ("slots",),
+    "busy": (),
+    "job": ("id", "spec"),
+    "curve_point": ("id", "point"),
+    "result": ("id", "result"),
+    "job_error": ("id", "error"),
+    "heartbeat": (),
+}
 
 
 # ---------------------------------------------------------------------- #
 # validating parser
 # ---------------------------------------------------------------------- #
 def parse_frame(doc: Any) -> Tuple[str, Dict[str, Any]]:
-    """Classify one control document as ``(kind, doc)``; junk raises.
+    """Classify one control document as ``(kind, body)``; junk raises.
 
+    Every frame's ``cv`` is checked against :data:`FLEET_VERSION` (the
+    single :func:`~repro.runtime.wire.check_protocol_version` path).
     Only structural validation happens here (it is a frame of a known
     type with the fields that type requires); semantic checks — unknown
     job ids, key mismatches — belong to the caller.
     """
-    if not isinstance(doc, dict) or KIND_KEY not in doc:
-        raise FleetProtocolError(f"not a fleet frame: {doc!r}")
-    kind = doc[KIND_KEY]
-    if kind in ("hello", "welcome", "busy"):
-        version = doc.get("v")
-        if version != FLEET_VERSION:
-            raise FleetProtocolError(
-                f"fleet protocol mismatch: peer speaks v{version}, we speak v{FLEET_VERSION}"
-            )
-        if kind == "welcome" and int(doc.get("slots", 0)) < 1:
-            raise FleetProtocolError(f"welcome without usable slots: {doc!r}")
-        return kind, doc
-    if kind == "job":
-        if not isinstance(doc.get("id"), str) or not isinstance(doc.get("spec"), dict):
+    frame = ControlFrame.from_doc(
+        doc, expect_version=FLEET_VERSION, label="fleet", error=FleetProtocolError
+    )
+    required = _FRAME_KINDS.get(frame.kind)
+    if required is None:
+        raise FleetProtocolError(f"unknown fleet frame kind {frame.kind!r}")
+    for key in required:
+        if key not in frame.body:
+            raise FleetProtocolError(f"{frame.kind} frame without {key!r}: {doc!r}")
+    if frame.kind == "job":
+        if not isinstance(frame.body["id"], str) or not isinstance(frame.body["spec"], dict):
             raise FleetProtocolError(f"malformed job frame: {doc!r}")
-        return kind, doc
-    if kind in ("curve_point", "result", "job_error"):
-        if not isinstance(doc.get("id"), str):
-            raise FleetProtocolError(f"{kind} frame without a job id: {doc!r}")
-        payload_key = {"curve_point": "point", "result": "result", "job_error": "error"}[kind]
-        if payload_key not in doc:
-            raise FleetProtocolError(f"{kind} frame without {payload_key!r}: {doc!r}")
-        return kind, doc
-    if kind == "heartbeat":
-        return kind, doc
-    raise FleetProtocolError(f"unknown fleet frame kind {kind!r}")
+    elif "id" in required and not isinstance(frame.body["id"], str):
+        raise FleetProtocolError(f"{frame.kind} frame without a job id: {doc!r}")
+    if frame.kind == "welcome" and int(frame.body.get("slots", 0)) < 1:
+        raise FleetProtocolError(f"welcome without usable slots: {doc!r}")
+    return frame.kind, frame.body
 
 
 def decode_spec(doc: Dict[str, Any]) -> ExperimentSpec:

@@ -24,8 +24,11 @@ ways from one experiment specification:
   mode and a genuinely concurrent thread mode (atomic pairing via
   :class:`PairingBoard` keeps the averaging deadlock-free).
 * :mod:`repro.runtime.messages` / :mod:`repro.runtime.transport` /
-  :mod:`repro.runtime.wire` — the typed envelopes, the in-process
-  delay-injecting message fabric, and the socket framing/codec layer.
+  :mod:`repro.runtime.wire` / :mod:`repro.runtime.codecs` — the typed
+  envelopes, the in-process delay-injecting message fabric with unified
+  :class:`CommStats` byte accounting, the zero-copy socket framing, and
+  the pluggable gradient codecs (raw32/fp16/topk) every byte-moving
+  backend negotiates via ``TrainingConfig.comm_codec``.
 * :mod:`repro.runtime.server_actor` — the Algorithm-2 dispatch loop both
   concurrent backends share.
 
@@ -47,6 +50,7 @@ from repro.runtime.backends import (
     register_backend,
     run_experiment,
 )
+from repro.runtime.codecs import GradientCodec, available_codecs, make_codec
 from repro.runtime.gossip_backend import GossipBackend, PairingBoard
 from repro.runtime.proc_backend import ProcBackend, SocketTransport
 from repro.runtime.server_actor import RunControl, server_actor_loop
@@ -58,9 +62,13 @@ from repro.runtime.session import (
     build_model,
 )
 from repro.runtime.thread_backend import RoundRobinTurnstile, ThreadBackend
-from repro.runtime.transport import GossipTransport, InProcTransport, Mailbox
+from repro.runtime.transport import CommStats, GossipTransport, InProcTransport, Mailbox
 
 __all__ = [
+    "CommStats",
+    "GradientCodec",
+    "available_codecs",
+    "make_codec",
     "ExecutionBackend",
     "SimBackend",
     "ThreadBackend",

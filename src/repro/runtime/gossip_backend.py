@@ -52,7 +52,7 @@ from repro.nn.norm import bn_layers, load_bn_running_stats
 from repro.runtime.messages import GossipReport, Shutdown, WeightExchange
 from repro.runtime.server_actor import RunControl
 from repro.runtime.session import REQUEST_BYTES, ExperimentPlan, ExperimentSession
-from repro.runtime.transport import GossipTransport
+from repro.runtime.transport import CommStats, GossipTransport
 from repro.utils.logging import get_logger
 
 logger = get_logger("runtime.gossip")
@@ -211,8 +211,7 @@ class GossipBackend:
         steps = [0] * n
         last_avg = [0] * n
         last_t_comm = [0.0] * n
-        worker_bytes = [0.0] * n
-        wire_bytes = 0.0
+        stats = CommStats(n)
 
         round_index = 0
         while server.batches_processed < plan.total_updates:
@@ -256,20 +255,15 @@ class GossipBackend:
                 last_avg[i] = steps[i]
                 last_avg[j] = steps[j]
                 session.trace.record(t_done, "gossip", i, version=server.version)
-                # full-duplex exchange: model_bytes each way through both endpoints
-                worker_bytes[i] += 2.0 * plan.model_bytes
-                worker_bytes[j] += 2.0 * plan.model_bytes
-                wire_bytes += 2.0 * plan.model_bytes
+                # full-duplex exchange: one model payload each way
+                stats.count_peer(i, j, plan.model_bytes)
+                stats.count_peer(j, i, plan.model_bytes)
             round_index += 1
 
         total_time = max(clocks) if clocks else 0.0
         session.ensure_final_eval(total_time)
         elapsed = time.perf_counter() - start
-        comm = {
-            "coordinator_bytes": 0.0,
-            "max_worker_bytes": max(worker_bytes, default=0.0),
-            "total_bytes": wire_bytes,
-        }
+        comm = stats.summary()
         logger.info(
             "gossip sim finished: topology=%s M=%d updates=%d rounds=%d t=%.1fs",
             config.topology, n, server.batches_processed, round_index, total_time,

@@ -8,12 +8,19 @@ TCP socket speaking the :mod:`repro.runtime.wire` protocol.  Unlike the
 thread backend there is no shared GIL: staleness and wall-clock numbers
 come from genuinely independent compute plus real kernel socket queues.
 
-Startup handshake (all control frames, see ``wire.py``)::
+Startup handshake (typed :class:`~repro.runtime.wire.ControlFrame`
+documents, protocol v2)::
 
-    child  -> parent   {"hello": worker_id, "token": ...}
-    parent -> child    {"config": TrainingConfig.to_dict(), options...}
-    child  -> parent   {"ready": worker_id}   (or {"error": traceback})
-    parent -> child    {"start": true}
+    child  -> parent   hello   {"worker": id, "token": ...}
+    parent -> child    config  {"config": ..., "codec": ..., scales...}
+    child  -> parent   ready   {"worker": id}   (or error {"traceback"})
+    parent -> child    start   {}
+
+The config frame names the negotiated gradient codec
+(``TrainingConfig.comm_codec``); both directions then run it on every
+array payload.  A peer speaking another protocol version is rejected on
+its first frame with a reason (best-effort ``reject`` control frame back)
+and the run fails fast instead of hanging.
 
 No weights travel at startup: the child rebuilds its replica + loader from
 ``(TrainingConfig, worker_id)`` via :class:`~repro.runtime.session.
@@ -48,11 +55,18 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.network import NetworkModel
 from repro.core.metrics import RunResult
 from repro.nn.norm import bn_layers, load_bn_running_stats
+from repro.runtime.codecs import make_codec
 from repro.runtime.messages import BnStatsPush, Message, Shutdown
 from repro.runtime.server_actor import RunControl, server_actor_loop
 from repro.runtime.session import ExperimentPlan, ExperimentSession
-from repro.runtime.transport import Mailbox
-from repro.runtime.wire import FrameConnection, WireError
+from repro.runtime.transport import CommStats, Mailbox
+from repro.runtime.wire import (
+    PROTOCOL_VERSION,
+    ControlFrame,
+    FrameConnection,
+    ProtocolMismatch,
+    WireError,
+)
 from repro.utils.logging import get_logger
 
 logger = get_logger("runtime.proc")
@@ -94,6 +108,9 @@ class SocketTransport:
         self.network = network
         self.time_scale = float(time_scale)
         self.server_inbox = Mailbox()
+        #: unified byte accounting (uplink frames measured as received,
+        #: downlink frames as sent — real socket bytes, codec included)
+        self.stats = CommStats(self.num_workers)
         self._conns: List[Optional[FrameConnection]] = [None] * self.num_workers
         self._send_locks = [threading.Lock() for _ in range(self.num_workers)]
         self._readers: List[threading.Thread] = []
@@ -122,11 +139,12 @@ class SocketTransport:
     def _reader_loop(self, worker: int, conn: FrameConnection) -> None:
         try:
             while True:
-                message, _ = conn.recv()
+                message, _, nbytes, wire_nbytes = conn.recv_info()
                 if not isinstance(message, Message):
                     raise WireError(
                         f"worker {worker} sent a control frame mid-run: {message!r}"
                     )
+                self.stats.count(worker, nbytes, wire_nbytes)
                 if isinstance(message, BnStatsPush):
                     # shutdown-time sideband, not Algorithm-2 traffic: the
                     # server actor has already drained by the time it lands
@@ -161,6 +179,7 @@ class SocketTransport:
         delay = self._link_delay(worker, nbytes)
         if delay > 0:
             time.sleep(delay)
+        self.stats.count(worker, nbytes)
         self.server_inbox.put(message)
 
     def to_worker(self, worker: int, message: Message, nbytes: int = 0) -> None:
@@ -170,7 +189,12 @@ class SocketTransport:
             raise RuntimeError(f"worker {worker} is not attached")
         delay = self._link_delay(worker, nbytes)
         with self._send_locks[worker]:
-            conn.send_message(message, delay=delay)
+            wire_nbytes = conn.send_message(message, delay=delay, nbytes=nbytes)
+        self.stats.count(worker, nbytes, wire_nbytes)
+
+    def comm_summary(self) -> Dict[str, float]:
+        """The unified :class:`CommStats` keys."""
+        return self.stats.summary()
 
     def wake_all_workers(self, message: Message) -> None:
         """Deliver ``message`` to every live worker; dead links are skipped."""
@@ -278,7 +302,7 @@ class ProcBackend:
             # start everyone: frames a child sends before its reader attaches
             # simply buffer in the socket
             for worker, conn in conns.items():
-                conn.send_control({"start": True})
+                conn.send_control(ControlFrame("start", {}).to_doc())
             for worker, conn in conns.items():
                 transport.attach(worker, conn)
 
@@ -318,7 +342,13 @@ class ProcBackend:
                 "proc backend finished: algo=%s M=%d updates=%d wall=%.2fs",
                 config.algorithm, num_workers, plan.server.batches_processed, elapsed,
             )
-            return session.build_result(elapsed, backend=self.name, wall_time=elapsed)
+            return session.build_result(
+                elapsed,
+                backend=self.name,
+                wall_time=elapsed,
+                comm=transport.comm_summary(),
+                codec=config.comm_codec,
+            )
         finally:
             transport.close()
             if listener is not None:
@@ -374,42 +404,75 @@ class ProcBackend:
                     continue
                 sock.settimeout(self.startup_timeout)
                 conn = FrameConnection(sock)
-                hello, _ = conn.recv()
+                try:
+                    doc, _ = conn.recv()
+                    hello = ControlFrame.from_doc(doc, expect_version=PROTOCOL_VERSION)
+                except ProtocolMismatch as exc:
+                    # a version-skewed child: tell it why (best effort — it
+                    # may not parse our frames either), then fail the run
+                    # fast rather than time the handshake out
+                    self._reject(conn, str(exc))
+                    raise RuntimeError(f"proc handshake rejected a peer: {exc}") from exc
+                except WireError:
+                    logger.warning("rejecting stray connection during handshake")
+                    conn.close()
+                    continue
+                worker_id = hello.body.get("worker")
                 if (
-                    not isinstance(hello, dict)
-                    or not secrets.compare_digest(str(hello.get("token", "")), token)
-                    or not isinstance(hello.get("hello"), int)
-                    or not 0 <= hello["hello"] < num_workers
-                    or hello["hello"] in conns
+                    hello.kind != "hello"
+                    or not secrets.compare_digest(
+                        str(hello.body.get("token", "")), token
+                    )
+                    or not isinstance(worker_id, int)
+                    or not 0 <= worker_id < num_workers
+                    or worker_id in conns
                 ):
                     logger.warning("rejecting stray connection during handshake")
                     conn.close()
                     continue
-                conns[hello["hello"]] = conn
-            doc = {
-                "config": config.to_dict(),
-                "time_scale": self.time_scale,
-                "compute_scale": self.compute_scale,
-            }
+                conns[worker_id] = conn
+            frame = ControlFrame(
+                "config",
+                {
+                    "config": config.to_dict(),
+                    "codec": config.comm_codec,
+                    "time_scale": self.time_scale,
+                    "compute_scale": self.compute_scale,
+                },
+            )
             for worker, conn in conns.items():
-                conn.send_control(doc)
+                conn.send_control(frame.to_doc())
             for worker, conn in conns.items():
                 self._check_startup(procs, deadline, phase="initialize")
-                ready, _ = conn.recv()
-                if isinstance(ready, dict) and "error" in ready:
+                doc, _ = conn.recv()
+                ready = ControlFrame.from_doc(doc, expect_version=PROTOCOL_VERSION)
+                if ready.kind == "error":
                     raise RuntimeError(
-                        f"worker child {worker} failed to initialize:\n{ready['error']}"
+                        f"worker child {worker} failed to initialize:\n"
+                        f"{ready.body.get('traceback', '')}"
                     )
-                if not isinstance(ready, dict) or ready.get("ready") != worker:
+                if ready.kind != "ready" or ready.body.get("worker") != worker:
                     raise RuntimeError(
-                        f"worker child {worker} broke the handshake: {ready!r}"
+                        f"worker child {worker} broke the handshake: {doc!r}"
                     )
+                # the negotiated downlink codec (per connection: topk keeps
+                # per-receiver state, and decode is stateless anyway)
+                conn.codec = make_codec(config.comm_codec)
                 conn.settimeout(None)  # back to blocking for the run
         except BaseException:
             for conn in conns.values():
                 conn.close()
             raise
         return conns
+
+    @staticmethod
+    def _reject(conn: FrameConnection, reason: str) -> None:
+        """Best-effort reject-with-reason before dropping a bad peer."""
+        try:
+            conn.send_control(ControlFrame("reject", {"reason": reason}).to_doc())
+        except (OSError, WireError):
+            pass
+        conn.close()
 
     def _check_startup(
         self, procs: List[subprocess.Popen], deadline: float, phase: str

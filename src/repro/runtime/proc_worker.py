@@ -10,7 +10,8 @@ never by hand.  The child:
    rebuilds *its own* replica, loader and timing models from
    ``(config, worker_id)`` via :class:`~repro.runtime.session.
    WorkerRuntime` — initialization is re-derived from the seed, so only
-   weights travel over the wire after this point;
+   weights travel over the wire after this point — and arms the
+   negotiated gradient codec (``comm_codec``) on its uplink;
 3. runs the paper's cycle — pull -> forward -> state push ->
    [compensation reply] -> backward -> push — free-running against the
    parent's server actor, sleeping out emulated uplink (``time_scale``)
@@ -39,6 +40,7 @@ from typing import List, Optional
 
 from repro.core.config import TrainingConfig
 from repro.nn.norm import bn_layers
+from repro.runtime.codecs import make_codec
 from repro.runtime.proc_backend import TOKEN_ENV
 from repro.runtime.messages import (
     BnStatsPush,
@@ -51,7 +53,13 @@ from repro.runtime.messages import (
 )
 from repro.runtime.session import REQUEST_BYTES, WorkerRuntime
 from repro.runtime.transport import Mailbox
-from repro.runtime.wire import ConnectionClosed, FrameConnection, WireError
+from repro.runtime.wire import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ControlFrame,
+    FrameConnection,
+    WireError,
+)
 
 #: exit code for a config/build failure already reported over the socket
 EXIT_INIT_FAILURE = 2
@@ -104,10 +112,15 @@ class WorkerChannel:
             self.inbox.put(Shutdown())  # parent gone: end the loop, don't hang
 
     def to_server(self, message: Message, nbytes: int = 0) -> None:
-        """Send to the parent; the emulated uplink delays this child."""
+        """Send to the parent; the emulated uplink delays this child.
+
+        ``nbytes`` (the logical float32 accounting) rides the frame header
+        so the parent's :class:`~repro.runtime.transport.CommStats` charges
+        logical and wire bytes from the same receive.
+        """
         if self.network is not None and self.time_scale > 0 and nbytes > 0:
             time.sleep(self.time_scale * self.network.transfer_time(self.worker_id, nbytes))
-        self._conn.send_message(message)
+        self._conn.send_message(message, nbytes=nbytes)
 
 
 def run_worker(channel: WorkerChannel, runtime: WorkerRuntime, compute_scale: float) -> None:
@@ -212,29 +225,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     conn = FrameConnection(sock)
     try:
         conn.send_control(
-            {"hello": worker_id, "token": os.environ.get(TOKEN_ENV, "")}
+            ControlFrame(
+                "hello", {"worker": worker_id, "token": os.environ.get(TOKEN_ENV, "")}
+            ).to_doc()
         )
         doc, _ = conn.recv()
-        if not isinstance(doc, dict) or "config" not in doc:
+        frame = ControlFrame.from_doc(doc, expect_version=PROTOCOL_VERSION)
+        if frame.kind == "reject":
+            print(
+                f"worker {worker_id}: parent rejected the handshake: "
+                f"{frame.body.get('reason', '')}",
+                file=sys.stderr,
+            )
+            return EXIT_INIT_FAILURE
+        if frame.kind != "config" or "config" not in frame.body:
             print(f"worker {worker_id}: bad config frame {doc!r}", file=sys.stderr)
             return EXIT_INIT_FAILURE
+        body = frame.body
         try:
-            config = TrainingConfig.from_dict(doc["config"])
+            config = TrainingConfig.from_dict(body["config"])
             runtime = WorkerRuntime.from_config(config, worker_id)
+            # the negotiated uplink codec: gradients (and, under fp16,
+            # everything else) leave this child already compressed
+            conn.codec = make_codec(body.get("codec", config.comm_codec))
         except BaseException:
             # report the build failure to the parent, then exit nonzero
-            conn.send_control({"error": traceback.format_exc()})
+            conn.send_control(
+                ControlFrame("error", {"traceback": traceback.format_exc()}).to_doc()
+            )
             return EXIT_INIT_FAILURE
-        conn.send_control({"ready": worker_id})
+        conn.send_control(ControlFrame("ready", {"worker": worker_id}).to_doc())
 
         start_doc, _ = conn.recv()
-        if not isinstance(start_doc, dict) or not start_doc.get("start"):
+        start = ControlFrame.from_doc(start_doc, expect_version=PROTOCOL_VERSION)
+        if start.kind != "start":
             print(f"worker {worker_id}: expected start, got {start_doc!r}", file=sys.stderr)
             return EXIT_INIT_FAILURE
         conn.settimeout(None)
 
-        time_scale = float(doc.get("time_scale", 0.0))
-        compute_scale = float(doc.get("compute_scale", 0.0))
+        time_scale = float(body.get("time_scale", 0.0))
+        compute_scale = float(body.get("compute_scale", 0.0))
         channel = WorkerChannel(
             conn,
             worker_id,

@@ -463,13 +463,16 @@ class ExperimentSession:
         backend: str = "sim",
         wall_time: float = 0.0,
         comm: Optional[Dict[str, float]] = None,
+        codec: str = "",
     ) -> RunResult:
         """Assemble the RunResult from the plan + trace + curve.
 
         ``clock`` is the backend's final "now" (virtual seconds for the
         simulator, real elapsed seconds for the thread runtime);
         ``wall_time`` is always real elapsed seconds.  ``comm`` is the
-        backend's per-endpoint byte accounting, when it keeps one.
+        backend's unified :class:`~repro.runtime.transport.CommStats`
+        accounting, when it keeps one, and ``codec`` the gradient codec
+        its transport honored ("" when it moved no bytes).
         """
         plan = self.plan
         # Tables 2-3 report cost *per training iteration*: total section time
@@ -497,5 +500,6 @@ class ExperimentSession:
             backend=backend,
             wall_time=wall_time,
             topology=plan.config.topology if plan.config.algorithm == "ad-psgd" else "",
+            codec=codec,
             comm=dict(comm) if comm else {},
         )

@@ -155,6 +155,7 @@ class ThreadBackend:
             num_workers,
             network=plan.network if self.time_scale > 0 else None,
             time_scale=self.time_scale,
+            codec_name=plan.config.comm_codec,
         )
         ctl = RunControl()
         turnstile = RoundRobinTurnstile(num_workers) if self.deterministic else None
@@ -202,7 +203,11 @@ class ThreadBackend:
             plan.config.algorithm, num_workers, plan.server.batches_processed, elapsed,
         )
         return session.build_result(
-            elapsed, backend=self.name, wall_time=elapsed, comm=transport.comm_summary()
+            elapsed,
+            backend=self.name,
+            wall_time=elapsed,
+            comm=transport.comm_summary(),
+            codec=plan.config.comm_codec,
         )
 
     # ------------------------------------------------------------------ #

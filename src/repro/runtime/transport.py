@@ -25,10 +25,77 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.network import NetworkModel
+from repro.runtime.codecs import make_codec
 from repro.runtime.messages import Message
 
 if TYPE_CHECKING:  # avoid a hard import cycle with repro.cluster.topology
     from repro.cluster.topology import TopologyModel
+
+
+class CommStats:
+    """Unified byte accounting shared by every transport.
+
+    One instance per run, whatever moves the bytes (in-process queues,
+    loopback sockets, gossip pairs), so ``RunResult.comm`` carries the
+    same keys on every backend:
+
+    * ``messages`` — payload-bearing sends.
+    * ``logical_bytes`` — what the run's model charges (float32 per
+      element plus fixed overheads), independent of any codec.
+    * ``wire_bytes`` — bytes that (would) cross the medium after the
+      codec ran; equals ``logical_bytes`` under ``raw32``.
+    * ``server_bytes`` — wire bytes through the hub endpoint (parameter
+      server, or the gossip coordinator — zero when serverless traffic
+      dominates, which is the scaling bench's point).
+    * ``max_worker_bytes`` — the busiest worker endpoint.
+    * ``total_bytes`` — every wire byte exactly once.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        self._lock = threading.Lock()
+        self.messages = 0
+        self.logical_bytes = 0
+        self.wire_bytes = 0
+        self.server_bytes = 0
+        self.worker_bytes: List[int] = [0] * int(num_workers)
+
+    def count(self, worker: int, nbytes: int, wire_nbytes: Optional[int] = None) -> None:
+        """One message between the hub endpoint and ``worker``."""
+        wire = int(nbytes if wire_nbytes is None else wire_nbytes)
+        if nbytes <= 0 and wire <= 0:
+            return
+        with self._lock:
+            self.messages += 1
+            self.logical_bytes += int(nbytes)
+            self.wire_bytes += wire
+            self.server_bytes += wire
+            self.worker_bytes[worker] += wire
+
+    def count_peer(
+        self, sender: int, receiver: int, nbytes: int, wire_nbytes: Optional[int] = None
+    ) -> None:
+        """One worker-to-worker message (no hub endpoint involved)."""
+        wire = int(nbytes if wire_nbytes is None else wire_nbytes)
+        if nbytes <= 0 and wire <= 0:
+            return
+        with self._lock:
+            self.messages += 1
+            self.logical_bytes += int(nbytes)
+            self.wire_bytes += wire
+            self.worker_bytes[sender] += wire
+            self.worker_bytes[receiver] += wire
+
+    def summary(self) -> Dict[str, float]:
+        """The unified ``RunResult.comm`` payload."""
+        with self._lock:
+            return {
+                "messages": float(self.messages),
+                "logical_bytes": float(self.logical_bytes),
+                "wire_bytes": float(self.wire_bytes),
+                "server_bytes": float(self.server_bytes),
+                "max_worker_bytes": float(max(self.worker_bytes, default=0)),
+                "total_bytes": float(self.wire_bytes),
+            }
 
 
 class Mailbox:
@@ -90,6 +157,7 @@ class InProcTransport:
         num_workers: int,
         network: Optional[NetworkModel] = None,
         time_scale: float = 0.0,
+        codec_name: str = "raw32",
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -100,29 +168,26 @@ class InProcTransport:
         self.time_scale = float(time_scale)
         self.server_inbox = Mailbox()
         self.worker_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
-        # byte accounting: everything through each endpoint, both directions
-        # (the gossip scaling bench compares busiest endpoints across
-        # architectures, so both transports keep the same counters)
-        self._bytes_lock = threading.Lock()
-        self.server_bytes = 0
-        self.worker_bytes: List[int] = [0] * self.num_workers
-
-    # ------------------------------------------------------------------ #
-    def _count(self, worker: int, nbytes: int) -> None:
-        if nbytes <= 0:
-            return
-        with self._bytes_lock:
-            self.server_bytes += nbytes
-            self.worker_bytes[worker] += nbytes
+        self.stats = CommStats(self.num_workers)
+        # Codec emulation: raw32 is the identity — messages pass by
+        # reference at full float64 precision, exactly the historical
+        # thread-backend behavior (sim/thread parity depends on it).  Any
+        # other codec round-trips each message through its lossy encode so
+        # thread runs see the same numerics and wire-byte accounting a
+        # socket run would.  Uplink codecs are per worker (topk keeps a
+        # residual per sender); the downlink never carries gradients, so
+        # one stateless instance serves all workers.
+        self.codec_name = str(codec_name or "raw32")
+        if self.codec_name == "raw32":
+            self._uplink_codecs = None
+            self._downlink_codec = None
+        else:
+            self._uplink_codecs = [make_codec(self.codec_name) for _ in range(self.num_workers)]
+            self._downlink_codec = make_codec(self.codec_name)
 
     def comm_summary(self) -> Dict[str, float]:
-        """Per-endpoint byte totals (server = both directions through it)."""
-        with self._bytes_lock:
-            return {
-                "server_bytes": float(self.server_bytes),
-                "max_worker_bytes": float(max(self.worker_bytes, default=0)),
-                "total_bytes": float(self.server_bytes),
-            }
+        """The unified :class:`CommStats` keys."""
+        return self.stats.summary()
 
     # ------------------------------------------------------------------ #
     def _link_delay(self, worker: int, nbytes: int) -> float:
@@ -133,8 +198,17 @@ class InProcTransport:
 
     def to_server(self, worker: int, message: Message, nbytes: int = 0) -> None:
         """Worker -> server send; the emulated uplink delays the caller."""
-        self._count(worker, nbytes)
-        delay = self._link_delay(worker, nbytes)
+        wire = nbytes
+        if self._uplink_codecs is not None:
+            from repro.runtime.wire import codec_roundtrip_message
+
+            message, wire = codec_roundtrip_message(
+                message, self._uplink_codecs[worker], nbytes
+            )
+        self.stats.count(worker, nbytes, wire)
+        # a compressed message occupies the emulated uplink for its wire
+        # footprint, not its logical one — that is the ablation's point
+        delay = self._link_delay(worker, wire)
         if delay > 0:
             time.sleep(delay)
         self.server_inbox.put(message)
@@ -145,8 +219,13 @@ class InProcTransport:
         Never sleeps in the caller: the server actor must keep draining its
         inbox, so the delay is carried as a deadline the receiver sleeps out.
         """
-        self._count(worker, nbytes)
-        delay = self._link_delay(worker, nbytes)
+        wire = nbytes
+        if self._downlink_codec is not None:
+            from repro.runtime.wire import codec_roundtrip_message
+
+            message, wire = codec_roundtrip_message(message, self._downlink_codec, nbytes)
+        self.stats.count(worker, nbytes, wire)
+        delay = self._link_delay(worker, wire)
         not_before = time.monotonic() + delay if delay > 0 else 0.0
         self.worker_inboxes[worker].put(message, not_before=not_before)
 
@@ -188,30 +267,21 @@ class GossipTransport:
         self.time_scale = float(time_scale)
         self.coordinator_inbox = Mailbox()
         self.peer_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
-        self._bytes_lock = threading.Lock()
-        self.coordinator_bytes = 0
-        self.worker_bytes: List[int] = [0] * self.num_workers
-        self._wire_bytes = 0  # every byte once, regardless of endpoint
+        # the coordinator is this architecture's hub endpoint: CommStats'
+        # server_bytes counts its (control-only) traffic
+        self.stats = CommStats(self.num_workers)
 
     # ------------------------------------------------------------------ #
     def to_peer(self, sender: int, receiver: int, message: Message, nbytes: int = 0) -> None:
         """Worker -> worker send; the emulated uplink delays the caller."""
-        if nbytes > 0:
-            with self._bytes_lock:
-                self.worker_bytes[sender] += nbytes
-                self.worker_bytes[receiver] += nbytes
-                self._wire_bytes += nbytes
+        self.stats.count_peer(sender, receiver, nbytes)
         if self.topology is not None and self.time_scale > 0 and nbytes > 0:
             time.sleep(self.time_scale * self.topology.transfer_time(sender, receiver, nbytes))
         self.peer_inboxes[receiver].put(message)
 
     def to_coordinator(self, worker: int, message: Message, nbytes: int = 0) -> None:
         """Worker -> coordinator control send (reports, never parameters)."""
-        if nbytes > 0:
-            with self._bytes_lock:
-                self.coordinator_bytes += nbytes
-                self.worker_bytes[worker] += nbytes
-                self._wire_bytes += nbytes
+        self.stats.count(worker, nbytes)
         self.coordinator_inbox.put(message)
 
     def wake_all_workers(self, message: Message) -> None:
@@ -220,10 +290,5 @@ class GossipTransport:
             inbox.put(message)
 
     def comm_summary(self) -> Dict[str, float]:
-        """Per-endpoint byte totals; the busiest endpoint is a *worker*."""
-        with self._bytes_lock:
-            return {
-                "coordinator_bytes": float(self.coordinator_bytes),
-                "max_worker_bytes": float(max(self.worker_bytes, default=0)),
-                "total_bytes": float(self._wire_bytes),
-            }
+        """The unified :class:`CommStats` keys (busiest endpoint is a worker)."""
+        return self.stats.summary()

@@ -1,29 +1,44 @@
-"""Wire layer for the process backend: framing + message (de)serialization.
+"""Wire layer for the process backend: zero-copy framing + codec plumbing.
 
 Every frame on a worker socket is::
 
-    [u32 frame length][u32 header length][header JSON][raw array payloads]
+    [u32 frame length][u32 header length][header JSON][array part buffers]
 
 The header is a small JSON document carrying the message kind, its scalar
-fields, an optional delivery ``delay`` (the emulated downlink occupancy the
-receiver sleeps out — the :class:`~repro.runtime.transport.Mailbox`
-contract), and one dtype/shape descriptor per array payload.  Numpy
-payloads travel as raw buffers appended after the header in descriptor
-order; weights, gradients and BN statistics are cast to the repository's
-documented float32 wire format (``model_bytes = params * 4``), never
-pickled.
+fields, an optional delivery ``delay`` (the emulated downlink occupancy
+the receiver sleeps out — the :class:`~repro.runtime.transport.Mailbox`
+contract), the sender's *logical* byte count (``nbytes`` — what the run's
+accounting charges, independent of compression), and one self-describing
+codec entry per array payload (:mod:`repro.runtime.codecs`).  Array data
+travels as raw buffers appended after the header in entry order; nothing
+is ever pickled.
+
+The data plane is zero-copy in both directions:
+
+* **send** — :func:`encode_message_into` returns ``(prefix, buffers)``
+  where the buffers are the codec's contiguous arrays themselves;
+  :meth:`FrameConnection.send_message` hands them to a vectored
+  ``socket.sendmsg`` with no payload join.
+* **receive** — :meth:`FrameConnection.read_frame` fills a reusable
+  per-connection buffer via ``recv_into`` and returns a read-only view
+  of it (valid until the next read); :func:`decode` builds arrays as
+  ``np.frombuffer`` views with ``copy=False``.  Decoders own anything
+  that outlives the frame (BN statistics, weights, gradients — the
+  float64 math cast copies), so a decoded message never aliases the
+  receive buffer.
 
 Two frame flavors share the transport:
 
 * **message frames** — one :mod:`repro.runtime.messages` envelope each;
   :func:`encode_message` / :func:`decode` are exact inverses for every
   type (property-tested in ``tests/runtime/test_wire.py``).
-* **control frames** — plain JSON documents for the parent/child
-  handshake (hello, config, ready, start, error).  :func:`decode` returns
-  the dict itself so handshake code never touches the codec tables.
+* **control frames** — :class:`ControlFrame` documents for handshakes
+  (proc hello/config/ready/start/error and the fleet protocol both ride
+  this one typed helper); :func:`decode` returns the doc dict itself.
 
-Nothing here is proc-specific: any transport that moves bytes (TCP here,
-maybe TLS or shared memory later) can reuse the framing unchanged.
+Version negotiation: the header carries ``v`` and :func:`decode` runs the
+single :func:`check_protocol_version` path, so a v1 peer is rejected with
+a reason on its first frame rather than failing opaquely mid-run.
 """
 
 from __future__ import annotations
@@ -31,11 +46,22 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Dict, List, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.state import CompensationReply, GradientPayload, WorkerState
+from repro.runtime import codecs as codecs_mod
+from repro.runtime.codecs import (
+    GradientCodec,
+    RAW32,
+    ROLE_BN,
+    ROLE_GRAD,
+    ROLE_WEIGHTS,
+    decode_array,
+    entry_nbytes,
+)
 from repro.runtime.messages import (
     BnStatsPush,
     CombinedPush,
@@ -49,15 +75,16 @@ from repro.runtime.messages import (
 )
 
 #: bumped whenever the header schema or codec tables change incompatibly;
-#: the handshake rejects children speaking a different version
-PROTOCOL_VERSION = 1
+#: v2 = codec-entry array metadata + logical ``nbytes`` in the header
+PROTOCOL_VERSION = 2
 
-#: dtype every float payload is cast to on the wire (matches the
+#: dtype the raw32 codec casts float payloads to (matches the
 #: ``model_bytes = params * 4`` accounting in repro.runtime.session)
 WIRE_DTYPE = np.float32
 
-#: refuse frames beyond this size — a corrupt length prefix must not
-#: trigger a gigabyte allocation
+#: refuse frames beyond this size — enforced on *both* ends: a corrupt
+#: length prefix must not trigger a gigabyte allocation, and an oversized
+#: send must fail loudly here, not opaquely on the peer
 MAX_FRAME_BYTES = 1 << 30
 
 _LEN = struct.Struct(">I")
@@ -71,42 +98,70 @@ class ConnectionClosed(WireError):
     """The peer closed the socket mid-stream (EOF before a full frame)."""
 
 
-# ---------------------------------------------------------------------- #
-# array payloads
-# ---------------------------------------------------------------------- #
-def _array_meta(arrays: List[np.ndarray]) -> List[Dict[str, Any]]:
-    return [{"dtype": a.dtype.name, "shape": list(a.shape)} for a in arrays]
+class ProtocolMismatch(WireError):
+    """The peer speaks a different protocol version (reject with reason)."""
 
 
-def _wire_array(value: np.ndarray) -> np.ndarray:
-    """Contiguous float32 view of a payload array (the wire format)."""
-    return np.ascontiguousarray(value, dtype=WIRE_DTYPE)
-
-
-def _split_arrays(blob: bytes, meta: List[Dict[str, Any]]) -> List[np.ndarray]:
-    """Rebuild the payload arrays from the raw bytes after the header."""
-    arrays: List[np.ndarray] = []
-    offset = 0
-    for entry in meta:
-        dtype = np.dtype(entry["dtype"])
-        shape = tuple(int(s) for s in entry["shape"])
-        nbytes = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
-        chunk = blob[offset : offset + nbytes]
-        if len(chunk) != nbytes:
-            raise WireError(
-                f"array payload truncated: expected {nbytes} bytes, got {len(chunk)}"
-            )
-        # .copy(): frombuffer views are read-only and pin the frame alive
-        arrays.append(np.frombuffer(chunk, dtype=dtype).reshape(shape).copy())
-        offset += nbytes
-    if offset != len(blob):
-        raise WireError(f"frame carries {len(blob) - offset} unclaimed payload byte(s)")
-    return arrays
+def check_protocol_version(
+    got: Any, want: int, label: str = "wire", error: type = ProtocolMismatch
+) -> None:
+    """The one version gate every protocol layer routes through."""
+    if got != want:
+        raise error(f"{label} protocol mismatch: peer speaks v{got}, we speak v{want}")
 
 
 # ---------------------------------------------------------------------- #
-# per-kind codecs: message -> (fields, arrays) and back
+# typed control frames (proc handshake + fleet protocol share this shape)
 # ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ControlFrame:
+    """One typed handshake/control document: ``kind`` + ``body`` + version.
+
+    ``v`` defaults to the wire protocol version at serialization time;
+    higher-level protocols with their own versioning (fleet) pass theirs
+    explicitly.  ``to_doc``/``from_doc`` are exact JSON-able inverses.
+    """
+
+    kind: str
+    body: Dict[str, Any] = field(default_factory=dict)
+    v: Optional[int] = None
+
+    def to_doc(self) -> Dict[str, Any]:
+        version = PROTOCOL_VERSION if self.v is None else int(self.v)
+        return {"ctl": self.kind, "cv": version, "body": dict(self.body)}
+
+    @classmethod
+    def from_doc(
+        cls,
+        doc: Any,
+        expect_version: Optional[int] = None,
+        label: str = "control",
+        error: type = WireError,
+    ) -> "ControlFrame":
+        if not isinstance(doc, dict) or "ctl" not in doc:
+            raise error(f"not a {label} frame: {doc!r}")
+        if expect_version is not None:
+            # skew gets the dedicated subclass so handshakes can reject
+            # with a reason instead of treating the peer as garbage
+            mismatch = ProtocolMismatch if error is WireError else error
+            check_protocol_version(doc.get("cv"), expect_version, label, mismatch)
+        body = doc.get("body")
+        if body is None:
+            body = {}
+        if not isinstance(body, dict):
+            raise error(f"{label} frame body must be a dict, got {type(body).__name__}")
+        return cls(str(doc["ctl"]), dict(body), v=doc.get("cv"))
+
+
+# ---------------------------------------------------------------------- #
+# per-kind codecs: message -> (fields, [(role, array), ...]) and back.
+# Decoders receive (fields, arrays, owned); any array that outlives the
+# frame must be owned (copied when the flag says it is borrowed).
+# ---------------------------------------------------------------------- #
+def _owned(array: np.ndarray, owned: bool) -> np.ndarray:
+    return array if owned else np.array(array)
+
+
 def _state_fields(state: WorkerState) -> Dict[str, Any]:
     return {
         "worker": state.worker,
@@ -118,17 +173,20 @@ def _state_fields(state: WorkerState) -> Dict[str, Any]:
     }
 
 
-def _state_arrays(state: WorkerState) -> List[np.ndarray]:
-    arrays: List[np.ndarray] = []
+def _state_arrays(state: WorkerState) -> List[Tuple[str, np.ndarray]]:
+    arrays: List[Tuple[str, np.ndarray]] = []
     for mean, var in state.bn_stats:
-        arrays.append(_wire_array(mean))
-        arrays.append(_wire_array(var))
+        arrays.append((ROLE_BN, mean))
+        arrays.append((ROLE_BN, var))
     return arrays
 
 
-def _state_from(fields: Dict[str, Any], arrays: List[np.ndarray]) -> WorkerState:
+def _state_from(fields: Dict[str, Any], arrays, owned) -> WorkerState:
     layers = int(fields["bn_layers"])
-    bn_stats = [(arrays[2 * i], arrays[2 * i + 1]) for i in range(layers)]
+    bn_stats = [
+        (_owned(arrays[2 * i], owned[2 * i]), _owned(arrays[2 * i + 1], owned[2 * i + 1]))
+        for i in range(layers)
+    ]
     return WorkerState(
         worker=int(fields["worker"]),
         loss=float(fields["loss"]),
@@ -148,8 +206,9 @@ def _payload_fields(payload: GradientPayload) -> Dict[str, Any]:
 
 
 def _payload_from(fields: Dict[str, Any], grad: np.ndarray) -> GradientPayload:
-    # GradientPayload.__post_init__ restores float64 math precision and
-    # recomputes nbytes from the float32 wire size
+    # GradientPayload.__post_init__ casts to float64 math precision (a
+    # copy — safe even from a borrowed frombuffer view) and recomputes
+    # nbytes from the float32 wire size
     return GradientPayload(
         worker=int(fields["worker"]),
         grad=grad,
@@ -162,7 +221,7 @@ def _enc_pull_request(msg: PullRequest):
     return {"worker": msg.worker, "sent_at": float(msg.sent_at)}, []
 
 
-def _dec_pull_request(fields, arrays):
+def _dec_pull_request(fields, arrays, owned):
     return PullRequest(int(fields["worker"]), sent_at=float(fields["sent_at"]))
 
 
@@ -173,12 +232,12 @@ def _enc_pull_reply(msg: PullReply):
         "request_sent_at": float(msg.request_sent_at),
         "has_weights": msg.weights is not None,
     }
-    arrays = [] if msg.weights is None else [_wire_array(msg.weights)]
+    arrays = [] if msg.weights is None else [(ROLE_WEIGHTS, msg.weights)]
     return fields, arrays
 
 
-def _dec_pull_reply(fields, arrays):
-    weights = arrays[0] if fields["has_weights"] else None
+def _dec_pull_reply(fields, arrays, owned):
+    weights = _owned(arrays[0], owned[0]) if fields["has_weights"] else None
     return PullReply(
         int(fields["worker"]),
         weights=weights,
@@ -191,8 +250,10 @@ def _enc_state_push(msg: StatePush):
     return {"worker": msg.worker, "state": _state_fields(msg.state)}, _state_arrays(msg.state)
 
 
-def _dec_state_push(fields, arrays):
-    return StatePush(int(fields["worker"]), state=_state_from(fields["state"], arrays))
+def _dec_state_push(fields, arrays, owned):
+    return StatePush(
+        int(fields["worker"]), state=_state_from(fields["state"], arrays, owned)
+    )
 
 
 def _enc_compensation(msg: CompensationMessage):
@@ -207,7 +268,7 @@ def _enc_compensation(msg: CompensationMessage):
     return {"worker": msg.worker, "reply": reply}, []
 
 
-def _dec_compensation(fields, arrays):
+def _dec_compensation(fields, arrays, owned):
     reply = None
     if fields["reply"] is not None:
         r = fields["reply"]
@@ -223,12 +284,14 @@ def _dec_compensation(fields, arrays):
 def _enc_gradient_push(msg: GradientPush):
     return (
         {"worker": msg.worker, "payload": _payload_fields(msg.payload)},
-        [_wire_array(msg.payload.grad)],
+        [(ROLE_GRAD, msg.payload.grad)],
     )
 
 
-def _dec_gradient_push(fields, arrays):
-    return GradientPush(int(fields["worker"]), payload=_payload_from(fields["payload"], arrays[0]))
+def _dec_gradient_push(fields, arrays, owned):
+    return GradientPush(
+        int(fields["worker"]), payload=_payload_from(fields["payload"], arrays[0])
+    )
 
 
 def _enc_combined_push(msg: CombinedPush):
@@ -237,13 +300,13 @@ def _enc_combined_push(msg: CombinedPush):
         "state": _state_fields(msg.state),
         "payload": _payload_fields(msg.payload),
     }
-    return fields, _state_arrays(msg.state) + [_wire_array(msg.payload.grad)]
+    return fields, _state_arrays(msg.state) + [(ROLE_GRAD, msg.payload.grad)]
 
 
-def _dec_combined_push(fields, arrays):
+def _dec_combined_push(fields, arrays, owned):
     return CombinedPush(
         int(fields["worker"]),
-        state=_state_from(fields["state"], arrays[:-1]),
+        state=_state_from(fields["state"], arrays[:-1], owned[:-1]),
         payload=_payload_from(fields["payload"], arrays[-1]),
     )
 
@@ -252,21 +315,24 @@ def _enc_shutdown(msg: Shutdown):
     return {"worker": msg.worker}, []
 
 
-def _dec_shutdown(fields, arrays):
+def _dec_shutdown(fields, arrays, owned):
     return Shutdown(int(fields["worker"]))
 
 
 def _enc_bn_stats(msg: BnStatsPush):
-    arrays: List[np.ndarray] = []
+    arrays: List[Tuple[str, np.ndarray]] = []
     for mean, var in msg.stats:
-        arrays.append(_wire_array(mean))
-        arrays.append(_wire_array(var))
+        arrays.append((ROLE_BN, mean))
+        arrays.append((ROLE_BN, var))
     return {"worker": msg.worker, "bn_layers": len(msg.stats)}, arrays
 
 
-def _dec_bn_stats(fields, arrays):
+def _dec_bn_stats(fields, arrays, owned):
     layers = int(fields["bn_layers"])
-    stats = tuple((arrays[2 * i], arrays[2 * i + 1]) for i in range(layers))
+    stats = tuple(
+        (_owned(arrays[2 * i], owned[2 * i]), _owned(arrays[2 * i + 1], owned[2 * i + 1]))
+        for i in range(layers)
+    )
     return BnStatsPush(int(fields["worker"]), stats=stats)
 
 
@@ -286,114 +352,289 @@ _ENCODERS = {cls: (kind, enc) for kind, (cls, enc, _) in _CODECS.items()}
 # ---------------------------------------------------------------------- #
 # frame encode/decode
 # ---------------------------------------------------------------------- #
-def _pack(header: Dict[str, Any], arrays: List[np.ndarray]) -> bytes:
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    parts = [_LEN.pack(len(header_bytes)), header_bytes]
-    parts.extend(a.tobytes() for a in arrays)
-    return b"".join(parts)
-
-
-def encode_message(message: Message, delay: float = 0.0) -> bytes:
-    """Serialize one envelope (plus its delivery ``delay`` stamp)."""
+def _message_parts(message: Message, codec: Optional[GradientCodec]):
+    """(kind, fields, entries, buffers) for one envelope."""
     try:
         kind, encoder = _ENCODERS[type(message)]
     except KeyError:
         raise WireError(f"no wire codec for {type(message).__name__}")
-    fields, arrays = encoder(message)
+    fields, role_arrays = encoder(message)
+    codec = codec or RAW32
+    entries: List[Dict[str, Any]] = []
+    buffers: List[np.ndarray] = []
+    for role, array in role_arrays:
+        entry, bufs = codec.encode(role, array)
+        entries.append(entry)
+        buffers.extend(bufs)
+    return kind, fields, entries, buffers
+
+
+def encode_message_into(
+    message: Message,
+    delay: float = 0.0,
+    nbytes: int = 0,
+    codec: Optional[GradientCodec] = None,
+) -> Tuple[bytes, List[np.ndarray]]:
+    """Serialize one envelope without joining the payload.
+
+    Returns ``(prefix, buffers)``: the prefix is the header-length word
+    plus the header JSON; the buffers are the codec's contiguous arrays,
+    ready for a vectored send.  ``nbytes`` is the sender's logical byte
+    count, carried in the header so both ends account identically.
+    """
+    kind, fields, entries, buffers = _message_parts(message, codec)
     header = {
         "v": PROTOCOL_VERSION,
         "kind": kind,
         "delay": float(delay),
+        "nbytes": int(nbytes),
         "fields": fields,
-        "arrays": _array_meta(arrays),
+        "arrays": entries,
     }
-    return _pack(header, arrays)
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(header_bytes)) + header_bytes, buffers
+
+
+def encode_message(
+    message: Message,
+    delay: float = 0.0,
+    nbytes: int = 0,
+    codec: Optional[GradientCodec] = None,
+) -> bytes:
+    """Joined-payload variant of :func:`encode_message_into` (tests, and
+    transports without vectored sends)."""
+    prefix, buffers = encode_message_into(message, delay=delay, nbytes=nbytes, codec=codec)
+    return b"".join([prefix] + [memoryview(b).cast("B") for b in buffers])
 
 
 def encode_control(doc: Dict[str, Any]) -> bytes:
-    """Serialize a handshake document (hello/config/ready/start/error)."""
+    """Serialize a control document (a :class:`ControlFrame` doc or any
+    plain JSON dict)."""
     header = {"v": PROTOCOL_VERSION, "kind": "control", "delay": 0.0,
               "fields": doc, "arrays": []}
-    return _pack(header, [])
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(header_bytes)) + header_bytes
 
 
-def decode(payload: bytes) -> Tuple[Union[Message, Dict[str, Any]], float]:
+def _decode_arrays(
+    view: memoryview, entries: List[Dict[str, Any]], copy: bool
+) -> Tuple[List[np.ndarray], List[bool]]:
+    """Split the payload region into per-entry arrays (views when
+    ``copy=False``) and decode each entry's encoding."""
+    arrays: List[np.ndarray] = []
+    owned: List[bool] = []
+    offset = 0
+    total = view.nbytes
+    for entry in entries:
+        parts: List[np.ndarray] = []
+        for part in entry.get("parts", ()):
+            dtype_name = part.get("dtype") if isinstance(part, dict) else None
+            if dtype_name not in codecs_mod.PART_DTYPES:
+                raise WireError(f"disallowed array part dtype {dtype_name!r}")
+            dtype = np.dtype(dtype_name)
+            n = int(part.get("n", 0))
+            nbytes = n * dtype.itemsize
+            if n < 0 or offset + nbytes > total:
+                raise WireError(
+                    f"array payload truncated: expected {nbytes} bytes, "
+                    f"got {total - offset}"
+                )
+            parts.append(np.frombuffer(view, dtype=dtype, count=n, offset=offset))
+            offset += nbytes
+        try:
+            array, own = decode_array(entry, parts, copy=copy)
+        except codecs_mod.CodecError as exc:
+            raise WireError(str(exc))
+        arrays.append(array)
+        owned.append(own)
+    if offset != total:
+        raise WireError(f"frame carries {total - offset} unclaimed payload byte(s)")
+    return arrays, owned
+
+
+def decode_frame(
+    payload: Union[bytes, bytearray, memoryview], copy: bool = True
+) -> Tuple[Union[Message, Dict[str, Any]], float, int]:
     """Inverse of :func:`encode_message` / :func:`encode_control`.
 
-    Returns ``(message, delay)`` for message frames and ``(doc, 0.0)``
-    for control frames (the caller distinguishes with ``isinstance``).
+    Returns ``(message, delay, logical_nbytes)`` for message frames and
+    ``(doc, 0.0, 0)`` for control frames.  With ``copy=False`` array data
+    is read straight out of ``payload`` with no intermediate copy; the
+    per-kind decoders still own everything a message retains, so decoded
+    messages never alias the buffer.
     """
-    if len(payload) < _LEN.size:
-        raise WireError(f"frame too short for a header length ({len(payload)} bytes)")
-    (header_len,) = _LEN.unpack_from(payload)
-    if header_len > len(payload) - _LEN.size:
-        raise WireError(f"header length {header_len} exceeds frame size {len(payload)}")
+    view = memoryview(payload)
+    if view.nbytes < _LEN.size:
+        raise WireError(f"frame too short for a header length ({view.nbytes} bytes)")
+    (header_len,) = _LEN.unpack_from(view)
+    if header_len > view.nbytes - _LEN.size:
+        raise WireError(f"header length {header_len} exceeds frame size {view.nbytes}")
     try:
-        header = json.loads(payload[_LEN.size : _LEN.size + header_len].decode("utf-8"))
+        header = json.loads(bytes(view[_LEN.size : _LEN.size + header_len]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"unparseable frame header: {exc}")
-    version = header.get("v")
-    if version != PROTOCOL_VERSION:
-        raise WireError(f"wire protocol mismatch: got v{version}, speak v{PROTOCOL_VERSION}")
+    check_protocol_version(header.get("v"), PROTOCOL_VERSION)
     kind = header.get("kind")
     delay = float(header.get("delay", 0.0))
+    nbytes = int(header.get("nbytes", 0))
     if kind == "control":
-        return dict(header.get("fields", {})), 0.0
+        return dict(header.get("fields", {})), 0.0, 0
     try:
         _, _, decoder = _CODECS[kind]
     except KeyError:
         raise WireError(f"unknown message kind {kind!r}")
-    arrays = _split_arrays(payload[_LEN.size + header_len :], header.get("arrays", []))
-    return decoder(header["fields"], arrays), delay
+    arrays, owned = _decode_arrays(
+        view[_LEN.size + header_len :], header.get("arrays", []), copy
+    )
+    return decoder(header["fields"], arrays, owned), delay, nbytes
+
+
+def decode(
+    payload: Union[bytes, bytearray, memoryview], copy: bool = True
+) -> Tuple[Union[Message, Dict[str, Any]], float]:
+    """:func:`decode_frame` without the byte accounting: ``(obj, delay)``."""
+    obj, delay, _ = decode_frame(payload, copy=copy)
+    return obj, delay
+
+
+def codec_roundtrip_message(
+    message: Message, codec: GradientCodec, nbytes: int
+) -> Tuple[Message, int]:
+    """Apply a codec's lossy encode/decode to an in-memory message.
+
+    What the in-process transports use to emulate compression without a
+    socket: returns the message as the peer would decode it, plus the
+    wire byte count (the logical ``nbytes`` with each array's float32
+    footprint swapped for its encoded footprint).
+    """
+    kind, fields, entries, buffers = _message_parts(message, codec)
+    _, _, decoder = _CODECS[kind]
+    arrays: List[np.ndarray] = []
+    wire_nbytes = int(nbytes)
+    cursor = 0
+    for entry in entries:
+        parts = buffers[cursor : cursor + len(entry["parts"])]
+        cursor += len(entry["parts"])
+        array, _ = decode_array(entry, parts, copy=False)
+        arrays.append(array)
+        # logical accounting charges float32 per element; swap that for
+        # the encoded footprint to get what a socket would carry
+        wire_nbytes += entry_nbytes(entry) - 4 * codecs_mod._shape_size(entry["shape"])
+    decoded = decoder(fields, arrays, [True] * len(arrays))
+    return decoded, max(0, wire_nbytes)
 
 
 # ---------------------------------------------------------------------- #
 # socket framing
 # ---------------------------------------------------------------------- #
 class FrameConnection:
-    """One framed, length-prefixed socket: sendall frames out, read them back.
+    """One framed, length-prefixed socket with a zero-copy data plane.
+
+    Sends are vectored (``sendmsg`` over the codec's buffers, no join);
+    reads fill a reusable per-connection buffer via ``recv_into`` and
+    hand out read-only views of it.  ``codec`` is this connection's
+    *outgoing* gradient codec (decode is stateless, so the two directions
+    may run different codecs).
 
     Thread contract: at most one sender and one reader at a time; callers
     with multiple sending threads (e.g. the server actor plus a shutdown
     broadcast) hold their own per-connection send lock.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, codec: Optional[GradientCodec] = None) -> None:
         self._sock = sock
+        self.codec = codec
+        self._len_buf = bytearray(_LEN.size)
+        self._recv_buf = bytearray(4096)
         try:  # latency matters more than throughput for 4-message cycles
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except (OSError, ValueError):
             pass  # not a TCP socket (tests use socketpair)
 
     # -------------------------------------------------------------- #
-    def send_frame(self, payload: bytes) -> None:
-        self._sock.sendall(_LEN.pack(len(payload)) + payload)
+    def send_parts(self, parts: List[Union[bytes, memoryview, np.ndarray]]) -> int:
+        """Vectored send of one frame; returns bytes put on the wire.
 
-    def send_message(self, message: Message, delay: float = 0.0) -> None:
-        self.send_frame(encode_message(message, delay=delay))
+        Raises :class:`WireError` *here* when the frame exceeds
+        :data:`MAX_FRAME_BYTES` — the sender-side half of the cap.
+        """
+        bufs = [memoryview(p).cast("B") for p in parts]
+        total = sum(b.nbytes for b in bufs)
+        if total > MAX_FRAME_BYTES:
+            raise WireError(
+                f"outgoing frame length {total} exceeds cap {MAX_FRAME_BYTES}"
+            )
+        bufs.insert(0, memoryview(_LEN.pack(total)))
+        sendmsg = getattr(self._sock, "sendmsg", None)
+        if sendmsg is None:  # pragma: no cover - all supported platforms have it
+            self._sock.sendall(b"".join(bufs))
+            return total + _LEN.size
+        while bufs:
+            sent = sendmsg(bufs)
+            while sent > 0:
+                if sent >= bufs[0].nbytes:
+                    sent -= bufs[0].nbytes
+                    bufs.pop(0)
+                else:
+                    bufs[0] = bufs[0][sent:]
+                    sent = 0
+        return total + _LEN.size
 
-    def send_control(self, doc: Dict[str, Any]) -> None:
-        self.send_frame(encode_control(doc))
+    def send_frame(self, payload: Union[bytes, memoryview]) -> int:
+        return self.send_parts([payload])
+
+    def send_message(
+        self, message: Message, delay: float = 0.0, nbytes: int = 0
+    ) -> int:
+        """Encode with this connection's codec and send; returns wire bytes."""
+        prefix, buffers = encode_message_into(
+            message, delay=delay, nbytes=nbytes, codec=self.codec
+        )
+        return self.send_parts([prefix] + buffers)
+
+    def send_control(self, doc: Dict[str, Any]) -> int:
+        return self.send_frame(encode_control(doc))
 
     # -------------------------------------------------------------- #
-    def _read_exact(self, n: int) -> bytes:
-        buf = bytearray()
-        while len(buf) < n:
-            chunk = self._sock.recv(n - len(buf))
-            if not chunk:
+    def _recv_exact_into(self, buf: Union[bytearray, memoryview], n: int) -> None:
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            received = self._sock.recv_into(view[got:n])
+            if received == 0:
                 raise ConnectionClosed("peer closed the connection mid-frame")
-            buf += chunk
-        return bytes(buf)
+            got += received
 
-    def read_frame(self) -> bytes:
-        (length,) = _LEN.unpack(self._read_exact(_LEN.size))
+    def read_frame(self) -> memoryview:
+        """Read one frame into the reusable buffer; returns a read-only
+        view of it, valid until the next :meth:`read_frame` call."""
+        self._recv_exact_into(self._len_buf, _LEN.size)
+        (length,) = _LEN.unpack(self._len_buf)
         if length > MAX_FRAME_BYTES:
             raise WireError(f"frame length {length} exceeds cap {MAX_FRAME_BYTES}")
-        return self._read_exact(length)
+        if len(self._recv_buf) < length:
+            self._recv_buf = bytearray(max(length, 2 * len(self._recv_buf)))
+        self._recv_exact_into(self._recv_buf, length)
+        view = memoryview(self._recv_buf)[:length]
+        return view.toreadonly() if hasattr(view, "toreadonly") else view
 
     def recv(self) -> Tuple[Union[Message, Dict[str, Any]], float]:
         """Read and decode the next frame: ``(message_or_doc, delay)``."""
-        return decode(self.read_frame())
+        obj, delay, _, _ = self.recv_info()
+        return obj, delay
+
+    def recv_info(
+        self,
+    ) -> Tuple[Union[Message, Dict[str, Any]], float, int, int]:
+        """Read and decode one frame with its byte accounting.
+
+        Returns ``(message_or_doc, delay, logical_nbytes, wire_nbytes)``
+        where ``wire_nbytes`` is what actually crossed the socket
+        (length prefix included).
+        """
+        view = self.read_frame()
+        obj, delay, nbytes = decode_frame(view, copy=False)
+        return obj, delay, nbytes, view.nbytes + _LEN.size
 
     # -------------------------------------------------------------- #
     def settimeout(self, timeout: Union[float, None]) -> None:

@@ -118,6 +118,54 @@ def test_sweep_through_fleet_agents(tmp_path, capsys):
     assert len(records) == 2
 
 
+def test_sweep_codec_axis_runs_dcasgd_ablation_on_one_grid(tmp_path, capsys):
+    """The compression ablation the redesign exists for: dc-asgd crossed
+    with every codec on a single grid, with per-codec wire bytes in the
+    report coming from the unified CommStats keys."""
+    store_dir = str(tmp_path / "out")
+    argv = [
+        "sweep", "--preset", "tiny", "--backend", "thread",
+        "--algorithms", "dc-asgd", "--workers", "2", "--seeds", "1",
+        "--epochs", "1", "--comm-codec", "raw32,fp16,topk",
+        "--json", store_dir,
+    ]
+    assert cli_main(argv) == 0
+    capsys.readouterr()
+
+    records = sorted(__import__("pathlib").Path(store_dir).glob("*.json"))
+    assert len(records) == 3  # one cell per codec, same grid
+    codecs = sorted(
+        json.loads(p.read_text())["spec"]["config"]["comm_codec"] for p in records
+    )
+    assert codecs == ["fp16", "raw32", "topk"]
+
+    rows_path = tmp_path / "rows.json"
+    assert cli_main(["report", store_dir, "--json", str(rows_path)]) == 0
+    out = capsys.readouterr().out
+    assert "codec" in out and "wire MB" in out
+    rows = json.loads(rows_path.read_text())
+    by_codec = {row["codec"]: row for row in rows}
+    assert set(by_codec) == {"raw32", "fp16", "topk"}
+    assert all(row["wire_mb"] > 0 for row in rows)
+    # the whole point of the ablation: compression shows up in the report
+    assert by_codec["fp16"]["wire_mb"] < by_codec["raw32"]["wire_mb"]
+    assert by_codec["topk"]["wire_mb"] < by_codec["raw32"]["wire_mb"]
+
+    # the codec filter narrows like any other axis
+    assert cli_main([
+        "report", store_dir, "--filter", "codec=fp16", "--json", str(rows_path),
+    ]) == 0
+    capsys.readouterr()
+    assert [row["codec"] for row in json.loads(rows_path.read_text())] == ["fp16"]
+
+
+def test_sweep_rejects_unknown_codec():
+    import pytest
+
+    with pytest.raises(SystemExit, match="gzip"):
+        cli_main(["sweep", "--comm-codec", "raw32,gzip", "--workers", "2"])
+
+
 def test_sweep_rejects_agents_plus_jobs():
     import pytest
 

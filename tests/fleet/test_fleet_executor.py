@@ -171,7 +171,11 @@ def test_undecodable_result_faults_the_agent_not_the_campaign(agents):
                 kind, doc = protocol.parse_frame(conn.recv()[0])
                 if kind == "job":
                     conn.send_control(
-                        {"fleet": "result", "id": doc["id"], "result": {"bogus": 1}}
+                        {
+                            "ctl": "result",
+                            "cv": protocol.FLEET_VERSION,
+                            "body": {"id": doc["id"], "result": {"bogus": 1}},
+                        }
                     )
         except Exception:
             pass

@@ -40,21 +40,30 @@ class TestFrames:
 
     def test_version_mismatch_rejected(self):
         bad = protocol.hello_frame()
-        bad["v"] = protocol.FLEET_VERSION + 1
+        bad["cv"] = protocol.FLEET_VERSION + 1
         with pytest.raises(FleetProtocolError, match="protocol mismatch"):
             protocol.parse_frame(bad)
 
+    def test_v1_frame_rejected(self):
+        # the pre-ControlFrame schema: flat keys, "fleet" kind, v=1
+        with pytest.raises(FleetProtocolError, match="not a fleet frame"):
+            protocol.parse_frame({"fleet": "hello", "v": 1})
+
     def test_welcome_without_slots_rejected(self):
         with pytest.raises(FleetProtocolError, match="slots"):
-            protocol.parse_frame({"fleet": "welcome", "v": protocol.FLEET_VERSION, "slots": 0})
+            protocol.parse_frame(
+                {"ctl": "welcome", "cv": protocol.FLEET_VERSION, "body": {"slots": 0}}
+            )
 
     def test_junk_rejected(self):
         with pytest.raises(FleetProtocolError):
             protocol.parse_frame({"hello": 0})  # a proc handshake doc, not fleet
-        with pytest.raises(FleetProtocolError):
-            protocol.parse_frame({"fleet": "launch_missiles"})
-        with pytest.raises(FleetProtocolError, match="job id"):
-            protocol.parse_frame({"fleet": "result", "result": {}})
+        with pytest.raises(FleetProtocolError, match="unknown fleet frame"):
+            protocol.parse_frame({"ctl": "launch_missiles", "cv": protocol.FLEET_VERSION})
+        with pytest.raises(FleetProtocolError, match="without 'id'"):
+            protocol.parse_frame(
+                {"ctl": "result", "cv": protocol.FLEET_VERSION, "body": {"result": {}}}
+            )
 
     def test_job_spec_roundtrip_preserves_key_and_tags(self):
         spec = make_spec(seed=11)
@@ -67,7 +76,7 @@ class TestFrames:
         assert rebuilt.config.to_dict() == spec.config.to_dict()
 
     def test_spec_key_mismatch_refused(self):
-        doc = protocol.job_frame("1", make_spec())["spec"]
+        doc = protocol.job_frame("1", make_spec())["body"]["spec"]
         doc["key"] = "0" * 16  # a skewed sender lying about identity
         with pytest.raises(ValueError, match="key mismatch"):
             ExperimentSpec.from_dict(doc)

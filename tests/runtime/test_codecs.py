@@ -1,0 +1,145 @@
+"""Gradient codecs: round-trip properties, error bounds, error feedback."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.codecs import (
+    CodecError,
+    Fp16Codec,
+    ROLE_BN,
+    ROLE_GRAD,
+    ROLE_WEIGHTS,
+    Raw32Codec,
+    TOPK_RATIO,
+    TopKCodec,
+    available_codecs,
+    decode_array,
+    entry_nbytes,
+    make_codec,
+    register_codec,
+)
+
+
+def awkward_arrays():
+    """The shapes a codec must survive, not just happy-path 1-D float32."""
+    rng = np.random.default_rng(11)
+    return [
+        ("contiguous_1d", rng.normal(size=64).astype(np.float32)),
+        ("float64", rng.normal(size=33)),
+        ("noncontiguous", rng.normal(size=(8, 10)).astype(np.float32)[:, ::2]),
+        ("transposed", np.asfortranarray(rng.normal(size=(5, 7)))),
+        ("zero_size", np.zeros((0,), dtype=np.float32)),
+        ("scalar_shaped", np.array(3.5)),
+    ]
+
+
+def roundtrip(codec, role, array, copy=True):
+    entry, buffers = codec.encode(role, array)
+    # the wire delivers flat byte buffers; simulate that re-view here
+    buffers = [np.frombuffer(np.ascontiguousarray(b).tobytes(), dtype=b.dtype) for b in buffers]
+    decoded, owned = decode_array(entry, buffers, copy=copy)
+    assert decoded.shape == np.shape(array)
+    assert entry_nbytes(entry) == sum(b.nbytes for b in buffers)
+    return decoded, owned
+
+
+@pytest.mark.parametrize("name,array", awkward_arrays(), ids=lambda v: v if isinstance(v, str) else "")
+@pytest.mark.parametrize("codec_name", ["raw32", "fp16", "topk"])
+@pytest.mark.parametrize("role", [ROLE_GRAD, ROLE_WEIGHTS, ROLE_BN])
+def test_every_codec_round_trips_awkward_arrays(codec_name, role, name, array):
+    codec = make_codec(codec_name)
+    decoded, _ = roundtrip(codec, role, array)
+    reference = np.ascontiguousarray(array, dtype=np.float32)
+    if codec_name == "raw32" or (codec_name == "topk" and role != ROLE_GRAD):
+        np.testing.assert_array_equal(decoded, reference)
+    elif codec_name == "fp16":
+        np.testing.assert_allclose(decoded, reference, rtol=2**-10, atol=1e-6)
+    else:  # topk on a gradient: decoded + residual reconstructs the input
+        total = np.asarray(decoded, dtype=np.float64).reshape(-1) + codec.residual
+        np.testing.assert_allclose(
+            total, np.asarray(array, dtype=np.float64).reshape(-1), rtol=0, atol=0
+        )
+
+
+def test_raw32_views_are_borrowed_only_without_copy():
+    array = np.arange(12, dtype=np.float32)
+    _, owned = roundtrip(Raw32Codec(), ROLE_GRAD, array, copy=False)
+    assert owned is False  # zero-copy: caller must not let it escape
+    _, owned = roundtrip(Raw32Codec(), ROLE_GRAD, array, copy=True)
+    assert owned is True
+
+
+def test_fp16_relative_error_bound():
+    rng = np.random.default_rng(0)
+    array = rng.normal(size=4096) * 10.0
+    decoded, owned = roundtrip(Fp16Codec(), ROLE_WEIGHTS, array)
+    assert owned is True  # astype materializes: safe to retain
+    rel = np.abs(decoded.astype(np.float64) - array) / np.abs(array)
+    assert float(rel.max()) <= 2**-10  # half-precision rounding, nothing worse
+
+
+def test_fp16_halves_the_payload():
+    array = np.zeros(1000, dtype=np.float32)
+    raw_entry, _ = Raw32Codec().encode(ROLE_GRAD, array)
+    f16_entry, _ = Fp16Codec().encode(ROLE_GRAD, array)
+    assert entry_nbytes(f16_entry) * 2 == entry_nbytes(raw_entry)
+
+
+def test_topk_selects_largest_coordinates_first():
+    grad = np.zeros(100)
+    grad[[7, 42, 93]] = [5.0, -9.0, 3.0]
+    codec = TopKCodec()
+    entry, (idx, vals) = codec.encode(ROLE_GRAD, grad)
+    k = int(np.ceil(100 * TOPK_RATIO))
+    assert len(idx) == k
+    assert {7, 42, 93} <= set(int(i) for i in idx)  # mass beats zeros
+    decoded, _ = decode_array(entry, [idx, vals])
+    np.testing.assert_allclose(decoded[[7, 42, 93]], [5.0, -9.0, 3.0], rtol=1e-6)
+
+
+def test_topk_error_feedback_conserves_and_drains():
+    """What is not sent is kept; with nothing new arriving it all ships."""
+    codec = TopKCodec()
+    grad = np.ones(20)
+    sent = np.zeros(20, dtype=np.float64)
+    for _ in range(5):
+        entry, (idx, vals) = codec.encode(ROLE_GRAD, grad)
+        sent[idx] += vals.astype(np.float64)
+    # conservation: shipped + residual == everything injected, exactly
+    np.testing.assert_allclose(sent + codec.residual, 5.0 * grad, rtol=0, atol=0)
+    assert float(np.abs(codec.residual).max()) > 0  # something was deferred
+    # constant-gradient drain: feed zeros and the residual empties out
+    for _ in range(25):
+        entry, (idx, vals) = codec.encode(ROLE_GRAD, np.zeros(20))
+        sent[idx] += vals.astype(np.float64)
+    assert float(np.abs(codec.residual).max()) == 0.0
+    np.testing.assert_allclose(sent, 5.0 * grad, rtol=0, atol=0)
+
+
+def test_topk_is_per_sender_state():
+    a, b = TopKCodec(), TopKCodec()
+    a.encode(ROLE_GRAD, np.ones(10))
+    assert b.residual is None  # instances never share a residual
+
+
+def test_decode_rejects_bad_entries():
+    with pytest.raises(CodecError, match="unknown array encoding"):
+        decode_array({"enc": "zstd", "shape": [1], "parts": []}, [])
+    idx = np.array([5], dtype=np.int32)
+    vals = np.array([1.0], dtype=np.float32)
+    with pytest.raises(CodecError, match="out of range"):
+        decode_array(
+            {"enc": "topk", "shape": [3], "parts": [{"dtype": "int32", "n": 1},
+                                                    {"dtype": "float32", "n": 1}]},
+            [idx, vals],
+        )
+    with pytest.raises(CodecError, match="malformed array entry"):
+        entry_nbytes({"parts": [{"dtype": "float32"}]})
+
+
+def test_registry():
+    assert available_codecs() == ("fp16", "raw32", "topk")
+    with pytest.raises(CodecError, match="unknown comm codec"):
+        make_codec("gzip")
+    with pytest.raises(CodecError, match="already registered"):
+        register_codec(Raw32Codec)

@@ -69,7 +69,7 @@ def test_sim_mode_records_gossip_staleness_and_comm():
     # staleness = local steps since last averaging; with degree-2 gossip
     # some step always lands between averagings, so the mean is positive
     assert result.staleness["mean"] > 0
-    assert result.comm["coordinator_bytes"] == 0  # serverless
+    assert result.comm["server_bytes"] == 0  # serverless (hub = coordinator)
     assert result.comm["max_worker_bytes"] > 0
     assert result.comm["total_bytes"] > 0
     # the busiest endpoint is a worker moving ~2 model payloads per exchange,

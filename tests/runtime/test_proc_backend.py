@@ -136,6 +136,52 @@ def test_crashed_child_fails_the_run_quickly(monkeypatch):
     assert time.perf_counter() - start < 50.0
 
 
+def test_protocol_version_skew_rejected_with_reason(monkeypatch):
+    """A parent speaking a different protocol version must fail the run
+    fast with both versions named, not hang until the handshake times out:
+    the children are real v2 processes, the patched parent expects v1."""
+    from repro.runtime import proc_backend
+
+    monkeypatch.setattr(proc_backend, "PROTOCOL_VERSION", 1)
+    cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=1, epochs=1, seed=0)
+    start = time.perf_counter()
+    with pytest.raises(
+        RuntimeError, match=r"rejected a peer.*peer speaks v2, we speak v1"
+    ):
+        run_proc(cfg, timeout=60.0)
+    assert time.perf_counter() - start < 50.0  # reject, not timeout
+
+
+def test_fp16_codec_shrinks_proc_wire_traffic():
+    """comm_codec rides the handshake: same run, half-precision wire."""
+    results = {}
+    for codec in ("raw32", "fp16"):
+        cfg = TrainingConfig.tiny(
+            algorithm="asgd", num_workers=2, epochs=1, seed=0, comm_codec=codec
+        )
+        _, result = run_proc(cfg)
+        results[codec] = result
+        assert result.codec == codec
+        assert result.comm["wire_bytes"] > 0
+        assert result.comm["logical_bytes"] > 0
+    assert results["fp16"].total_updates == results["raw32"].total_updates
+    # headers and framing are uncompressed, so short of the ideal 2x —
+    # but the bulk payload is halved and it must show
+    assert (
+        results["fp16"].comm["wire_bytes"] < 0.66 * results["raw32"].comm["wire_bytes"]
+    )
+
+
+def test_topk_codec_completes_on_proc():
+    cfg = TrainingConfig.tiny(
+        algorithm="lc-asgd", num_workers=2, epochs=1, seed=1, comm_codec="topk"
+    )
+    _, result = run_proc(cfg)
+    assert result.codec == "topk"
+    assert result.total_updates == 8
+    assert result.comm["wire_bytes"] > 0
+
+
 def test_worker_runtime_rejects_bad_worker_id():
     cfg = TrainingConfig.tiny(algorithm="asgd", num_workers=2, seed=0)
     with pytest.raises(ValueError, match="out of range"):

@@ -1,5 +1,6 @@
 """Wire layer: every Message round-trips exactly; framing survives sockets."""
 
+import json
 import socket
 import threading
 
@@ -7,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.state import CompensationReply, GradientPayload, WorkerState
+from repro.runtime.codecs import make_codec
 from repro.runtime.messages import (
     BnStatsPush,
     CombinedPush,
@@ -20,7 +22,9 @@ from repro.runtime.messages import (
 from repro.runtime import wire
 from repro.runtime.wire import (
     ConnectionClosed,
+    ControlFrame,
     FrameConnection,
+    ProtocolMismatch,
     WireError,
     decode,
     encode_control,
@@ -127,9 +131,45 @@ def test_decode_rejects_garbage():
     with pytest.raises(WireError):
         decode(encode_message(PullRequest(0))[:-1] + b"")  # fine, full...
     # wrong protocol version
-    bad = encode_control({"x": 1}).replace(b'"v":1', b'"v":9')
-    with pytest.raises(WireError, match="protocol"):
+    bad = encode_control({"x": 1}).replace(b'"v":2', b'"v":9')
+    with pytest.raises(WireError, match="protocol mismatch"):
         decode(bad)
+
+
+def test_v1_peer_rejected_with_reason():
+    # a handcrafted frame exactly as a v1 sender would emit it: the single
+    # check_protocol_version path must name both versions in the error
+    header = json.dumps(
+        {"v": 1, "kind": "control", "delay": 0.0, "fields": {"hello": 0}, "arrays": []}
+    ).encode("utf-8")
+    frame = wire._LEN.pack(len(header)) + header
+    with pytest.raises(ProtocolMismatch, match=r"peer speaks v1, we speak v2"):
+        decode(frame)
+
+
+def test_control_frame_roundtrip():
+    frame = ControlFrame("hello", {"worker": 3, "token": "t"})
+    doc = frame.to_doc()
+    assert doc == {
+        "ctl": "hello",
+        "cv": wire.PROTOCOL_VERSION,
+        "body": {"worker": 3, "token": "t"},
+    }
+    back = ControlFrame.from_doc(doc, expect_version=wire.PROTOCOL_VERSION)
+    assert back.kind == "hello" and back.body == {"worker": 3, "token": "t"}
+    # the doc form survives the wire unchanged
+    decoded, _ = decode(encode_control(doc))
+    assert ControlFrame.from_doc(decoded).body == frame.body
+
+
+def test_control_frame_version_and_shape_checks():
+    doc = ControlFrame("hello", {}, v=1).to_doc()
+    with pytest.raises(WireError, match="protocol mismatch"):
+        ControlFrame.from_doc(doc, expect_version=wire.PROTOCOL_VERSION)
+    with pytest.raises(WireError, match="not a control frame"):
+        ControlFrame.from_doc({"hello": 0})
+    with pytest.raises(WireError, match="body"):
+        ControlFrame.from_doc({"ctl": "x", "cv": 2, "body": [1]})
 
 
 def test_decode_rejects_truncated_arrays():
@@ -175,14 +215,90 @@ def test_frame_connection_eof_raises_connection_closed():
     b.close()
 
 
-def test_frame_length_cap_enforced(monkeypatch):
+def test_frame_length_cap_enforced_both_ends(monkeypatch):
     left, right = socket.socketpair()
     a, b = FrameConnection(left), FrameConnection(right)
     try:
         monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 16)
-        a.send_frame(b"x" * 64)
-        with pytest.raises(WireError, match="cap"):
+        # sender side: an oversized frame fails loudly here, before any
+        # byte leaves (this used to slip through and die on the peer)
+        with pytest.raises(WireError, match="outgoing frame length"):
+            a.send_frame(b"x" * 64)
+        # receiver side: a corrupt length prefix must not trigger a huge
+        # allocation — write one straight past the sender-side check
+        left.sendall(wire._LEN.pack(64))
+        with pytest.raises(WireError, match="exceeds cap"):
             b.read_frame()
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_info_reports_logical_and_wire_bytes():
+    left, right = socket.socketpair()
+    a, b = FrameConnection(left), FrameConnection(right)
+    try:
+        message = GradientPush(1, payload=_payload(n=64))
+        a.send_message(message, nbytes=64 * 4)
+        decoded, delay, logical, wire_nbytes = b.recv_info()
+        assert isinstance(decoded, GradientPush)
+        assert logical == 256
+        # raw32 wire = header + 4 bytes/element + framing, so > logical
+        assert wire_nbytes > 256
+    finally:
+        a.close()
+        b.close()
+
+
+@pytest.mark.parametrize("codec_name", ["raw32", "fp16", "topk"])
+def test_codec_negotiated_connection_roundtrip(codec_name):
+    left, right = socket.socketpair()
+    a = FrameConnection(left, codec=make_codec(codec_name))
+    b = FrameConnection(right)
+    try:
+        n = 1024
+        message = GradientPush(1, payload=_payload(n=n))
+        sent_bytes = []
+        writer = threading.Thread(
+            target=lambda: sent_bytes.append(a.send_message(message, nbytes=n * 4))
+        )
+        writer.start()
+        decoded, _, logical, wire_nbytes = b.recv_info()
+        writer.join(timeout=10.0)
+        assert sent_bytes[0] == wire_nbytes  # both ends count the same bytes
+        assert logical == n * 4
+        assert decoded.payload.grad.shape == (n,)
+        grad = message.payload.grad
+        if codec_name == "raw32":
+            np.testing.assert_array_equal(decoded.payload.grad, grad.astype(np.float32))
+        elif codec_name == "fp16":
+            np.testing.assert_allclose(decoded.payload.grad, grad, rtol=2**-10, atol=1e-4)
+            assert wire_nbytes < n * 4  # half-precision actually shrank the frame
+        else:  # topk ships ceil(10%) of coordinates, exact where it ships
+            nonzero = np.nonzero(decoded.payload.grad)[0]
+            assert 1 <= len(nonzero) <= 103
+            np.testing.assert_allclose(
+                decoded.payload.grad[nonzero], grad[nonzero], rtol=1e-6
+            )
+    finally:
+        a.close()
+        b.close()
+
+
+def test_decoded_messages_do_not_alias_recv_buffer():
+    """The reusable receive buffer is overwritten by every read; anything a
+    decoded message retains must therefore be owned, not borrowed."""
+    left, right = socket.socketpair()
+    a, b = FrameConnection(left), FrameConnection(right)
+    try:
+        first = BnStatsPush(0, stats=((np.ones(50), np.full(50, 2.0)),))
+        second = BnStatsPush(0, stats=((np.full(50, 9.0), np.full(50, 8.0)),))
+        a.send_message(first)
+        a.send_message(second)
+        d1, _ = b.recv()
+        d2, _ = b.recv()  # overwrites the buffer d1 was decoded from
+        np.testing.assert_array_equal(d1.stats[0][0], np.ones(50, dtype=np.float32))
+        np.testing.assert_array_equal(d2.stats[0][0], np.full(50, 9.0, dtype=np.float32))
     finally:
         a.close()
         b.close()
