@@ -1,0 +1,200 @@
+"""AST-based static-analysis framework behind ``repro lint``.
+
+The repo's load-bearing invariants — every :class:`~repro.runtime.
+messages.Message` has a wire codec, sim runs are seed-deterministic,
+lock discipline on the concurrent runtimes — are exactly the properties
+that rot silently as the code grows.  This package checks them
+statically, as a handful of repo-specific :class:`AnalysisPass` plugins
+over one shared parsed view of the source tree.
+
+Vocabulary:
+
+* :class:`SourceFile` — one parsed module: text, lines, lazily-built
+  ``ast`` tree, and the ``# lint-ok: <rule>`` inline suppressions.
+* :class:`SourceTree` — every ``*.py`` under a root (normally the
+  installed ``repro`` package), plus the nearest README for the
+  documentation cross-checks.
+* :class:`Finding` — one violation: rule id, ``path:line``, severity,
+  message.  Its :attr:`~Finding.fingerprint` is deliberately
+  line-number-free so a committed suppression baseline survives
+  unrelated edits (:mod:`repro.analysis.baseline`).
+* :data:`PASSES` — the pass registry (a
+  :class:`~repro.utils.registry.Registry`, like every pluggable layer
+  here).  ``@register_pass`` on an :class:`AnalysisPass` subclass adds a
+  rule; :func:`run_passes` runs any subset over a tree.
+
+Suppressing one finding at its site::
+
+    wall_start = time.perf_counter()  # lint-ok: determinism — reporting only
+
+The comment may sit on the flagged line or the line directly above it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Type, Union
+
+from repro.utils.registry import Registry
+
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(r"#\s*lint-ok:\s*([\w,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # POSIX-relative to the tree root
+    line: int
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, got {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the suppression baseline."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.severity} [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One module under analysis: text, lines, lazy AST, suppressions."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.abs_path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self._tree: Optional[ast.Module] = None
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.rel)
+        return self._tree
+
+    def line_text(self, line: int) -> str:
+        """1-indexed source line ('' when out of range)."""
+        return self.lines[line - 1] if 1 <= line <= len(self.lines) else ""
+
+    def suppressed_rules(self, line: int) -> FrozenSet[str]:
+        """Rules a ``# lint-ok:`` comment waives at ``line`` (or just above)."""
+        rules: set = set()
+        for text in (self.line_text(line), self.line_text(line - 1)):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules.update(r.strip() for r in match.group(1).split(",") if r.strip())
+        return frozenset(rules)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressed_rules(line)
+
+
+class SourceTree:
+    """Every parseable ``*.py`` under ``root``, plus the nearest README.
+
+    Files that fail to parse are kept out of :attr:`files` and reported
+    as ``parse`` findings instead — a lint run must never crash on the
+    code it is judging.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).resolve()
+        if not self.root.is_dir():
+            raise ValueError(f"no source tree at {self.root}")
+        self.files: List[SourceFile] = []
+        self.parse_failures: List[Finding] = []
+        for path in sorted(self.root.rglob("*.py")):
+            source = SourceFile(self.root, path)
+            try:
+                source.tree
+            except SyntaxError as exc:
+                self.parse_failures.append(
+                    Finding("parse", source.rel, exc.lineno or 1, f"syntax error: {exc.msg}")
+                )
+                continue
+            self.files.append(source)
+        self._by_rel: Dict[str, SourceFile] = {f.rel: f for f in self.files}
+
+    def find(self, rel: str) -> Optional[SourceFile]:
+        """The file at POSIX-relative path ``rel``, or None."""
+        return self._by_rel.get(rel)
+
+    @property
+    def readme_text(self) -> str:
+        """The nearest README.md at or above the root ('' when absent)."""
+        for base in (self.root, self.root.parent, self.root.parent.parent):
+            candidate = base / "README.md"
+            if candidate.is_file():
+                return candidate.read_text(encoding="utf-8")
+        return ""
+
+
+class AnalysisPass:
+    """One registered rule: examine a :class:`SourceTree`, emit findings."""
+
+    #: rule id — the ``[rule]`` tag on findings and the ``--rule`` name
+    name: str = ""
+    #: one-line summary shown by ``repro lint --list-rules``
+    description: str = ""
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        raise NotImplementedError
+
+
+PASSES: Registry = Registry("analysis pass")
+
+
+def register_pass(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+    """Class decorator: file an :class:`AnalysisPass` under its ``name``."""
+    PASSES.register(cls.name, cls)
+    return cls
+
+
+def load_builtin_passes() -> None:
+    """Import the built-in pass modules (registration is import-time)."""
+    import repro.analysis.passes  # noqa: F401
+
+
+def available_rules() -> Sequence[str]:
+    load_builtin_passes()
+    return PASSES.names()
+
+
+def run_passes(
+    root: Union[str, Path], rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over the tree at ``root``.
+
+    Returns findings sorted by location, with inline ``# lint-ok:``
+    suppressions already removed; baseline subtraction is the caller's
+    job (:func:`repro.analysis.baseline.apply_baseline`).
+    """
+    load_builtin_passes()
+    tree = SourceTree(root)
+    names = list(rules) if rules else list(PASSES.names())
+    findings: List[Finding] = list(tree.parse_failures)
+    for name in names:
+        findings.extend(PASSES.get(name)().run(tree))
+    kept = []
+    for finding in findings:
+        source = tree.find(finding.path)
+        if source is not None and source.is_suppressed(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.rule, f.message))

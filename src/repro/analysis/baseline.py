@@ -1,0 +1,91 @@
+"""The committed suppression baseline for ``repro lint``.
+
+A baseline is a JSON document listing findings the repo has decided to
+live with (with a reason), so the lint gate can stay red-on-regression
+without forcing a big-bang cleanup::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"rule": "determinism", "path": "core/trainer.py",
+         "message": "...", "reason": "wall_time is reporting-only"}
+      ]
+    }
+
+Entries match findings by :attr:`~repro.analysis.base.Finding.fingerprint`
+— rule + path + message, deliberately *not* line numbers — so unrelated
+edits to a file never invalidate its suppressions.  Entries that match
+nothing are reported as *stale* so the baseline shrinks over time instead
+of accreting dead weight.  The repo's committed baseline lives at the
+repository root as ``lint-baseline.json`` (currently empty: every finding
+the passes ever raised has been fixed at the source).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.base import Finding
+
+BASELINE_VERSION = 1
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+def _entry_fingerprint(entry: Dict[str, str]) -> str:
+    return f"{entry.get('rule', '')}::{entry.get('path', '')}::{entry.get('message', '')}"
+
+
+def load_baseline(path: Union[str, Path]) -> List[Dict[str, str]]:
+    """The suppression entries at ``path`` (an absent file is empty)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "suppressions" not in doc:
+        raise ValueError(f"{path} is not a lint baseline (no 'suppressions' key)")
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}, this tool reads v{BASELINE_VERSION}"
+        )
+    entries = doc["suppressions"]
+    if not isinstance(entries, list) or not all(isinstance(e, dict) for e in entries):
+        raise ValueError(f"{path}: 'suppressions' must be a list of objects")
+    return entries
+
+
+def save_baseline(
+    path: Union[str, Path], findings: Sequence[Finding], reason: str = "baselined"
+) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message, "reason": reason}
+        for f in findings
+    ]
+    doc = {"version": BASELINE_VERSION, "suppressions": entries}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Split findings against the baseline.
+
+    Returns ``(fresh, suppressed, stale_entries)``: findings not covered
+    by any entry, findings the baseline absorbs, and entries that matched
+    nothing (candidates for deletion).
+    """
+    by_fingerprint = {_entry_fingerprint(e): e for e in entries}
+    fresh: List[Finding] = []
+    suppressed: List[Finding] = []
+    matched: set = set()
+    for finding in findings:
+        if finding.fingerprint in by_fingerprint:
+            suppressed.append(finding)
+            matched.add(finding.fingerprint)
+        else:
+            fresh.append(finding)
+    stale = [e for e in entries if _entry_fingerprint(e) not in matched]
+    return fresh, suppressed, stale

@@ -1,0 +1,215 @@
+"""Runtime lock-order tracing: named locks + an acquisition-order graph.
+
+The static lock-discipline pass (:mod:`repro.analysis.passes.locks`) can
+only see lexical ``with`` nesting.  This module is its runtime companion:
+the concurrent runtimes create their locks through :func:`make_lock` /
+:func:`make_condition`, which return plain :mod:`threading` primitives in
+normal operation and *traced* wrappers when the ``REPRO_LOCK_TRACE=1``
+environment variable is set.  Traced locks record, per thread, every
+"held A, then acquired B" event into one global directed graph; after a
+test run, :func:`assert_acyclic` fails with the offending cycle if any
+acquisition order was ever inverted.
+
+Lock names are stable identity strings (``"Mailbox._cond"``,
+``"DistributedWorker.model_lock"``) rather than object ids, so two Mailbox
+instances share a node — exactly what deadlock reasoning wants: a cycle
+between *classes* of locks is the bug, whichever instances exhibit it.
+(The known false-positive risk — nesting two distinct instances of the
+same class in both orders — does not occur in this codebase; if it ever
+does, give the sites distinct names.)
+
+Tracing is off by default and costs nothing when off: the factories
+return raw ``threading`` objects.  The traced wrapper is deliberately a
+*plain* acquire/release object (no ``_release_save``/``_is_owned``), so
+``threading.Condition`` falls back to its generic non-reentrant paths,
+which are correct for the Lock-backed conditions this repo uses.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: set to ``1`` to have make_lock()/make_condition() return tracing wrappers
+LOCK_TRACE_ENV = "REPRO_LOCK_TRACE"
+
+
+def trace_enabled() -> bool:
+    """Whether locks created *now* will be traced."""
+    return os.environ.get(LOCK_TRACE_ENV, "") not in ("", "0")
+
+
+class LockOrderViolation(RuntimeError):
+    """The recorded acquisition graph contains a cycle (deadlock risk)."""
+
+
+class _Recorder:
+    """The global acquisition-order graph, fed by every traced lock.
+
+    Uses a raw ``_thread`` lock internally so recording can never recurse
+    into tracing; per-thread held stacks live in a ``threading.local``.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = _thread.allocate_lock()
+        self._local = threading.local()
+        # (held, acquired) -> (thread name, ordinal) for the first witness
+        self._edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        self._count = 0
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def acquired(self, name: str) -> None:
+        stack = self._stack()
+        if stack:
+            thread = threading.current_thread().name
+            with self._mutex:
+                for held in stack:
+                    if held != name and (held, name) not in self._edges:
+                        self._count += 1
+                        self._edges[(held, name)] = (thread, self._count)
+        stack.append(name)
+
+    def released(self, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):  # locks may unnest out of order
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def edges(self) -> Dict[Tuple[str, str], Tuple[str, int]]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._count = 0
+
+
+_RECORDER = _Recorder()
+
+
+class TracedLock:
+    """A ``threading.Lock`` that reports acquisitions to the recorder."""
+
+    def __init__(self, name: str, recorder: _Recorder = _RECORDER) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._recorder = recorder
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._recorder.acquired(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._recorder.released(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TracedLock({self.name!r}, locked={self.locked()})"
+
+
+def make_lock(name: str):
+    """A ``threading.Lock`` — traced under :data:`LOCK_TRACE_ENV`.
+
+    ``name`` should be a stable ``Class.attribute`` identity string; it
+    becomes the node label in the acquisition-order graph.
+    """
+    if trace_enabled():
+        return TracedLock(name)
+    return threading.Lock()
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A ``threading.Condition`` — over a traced lock when tracing is on.
+
+    ``Condition.wait`` releases and re-acquires through the wrapper, so
+    waits show up in the graph exactly like explicit acquisitions.
+    """
+    if trace_enabled():
+        return threading.Condition(TracedLock(name))
+    return threading.Condition()
+
+
+# ---------------------------------------------------------------------- #
+# graph queries
+# ---------------------------------------------------------------------- #
+def edges() -> Dict[Tuple[str, str], Tuple[str, int]]:
+    """The recorded acquisition edges: (held, acquired) -> first witness."""
+    return _RECORDER.edges()
+
+
+def reset() -> None:
+    """Drop all recorded edges (test isolation)."""
+    _RECORDER.reset()
+
+
+def find_cycle(
+    graph: Optional[Dict[Tuple[str, str], Tuple[str, int]]] = None
+) -> Optional[List[str]]:
+    """A lock cycle as ``[a, b, ..., a]``, or None when the graph is a DAG."""
+    edge_map = edges() if graph is None else graph
+    adjacency: Dict[str, List[str]] = {}
+    for held, acquired in edge_map:
+        adjacency.setdefault(held, []).append(acquired)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    for start in sorted(adjacency):
+        if color.get(start, WHITE) != WHITE:
+            continue
+        path: List[str] = []
+        # iterative DFS so a pathological graph cannot hit recursion limits
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        while stack:
+            node, idx = stack[-1]
+            if idx == 0:
+                color[node] = GRAY
+                path.append(node)
+            succs = adjacency.get(node, [])
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                nxt = succs[idx]
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    return path[path.index(nxt):] + [nxt]
+                if state == WHITE:
+                    stack.append((nxt, 0))
+            else:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def assert_acyclic() -> None:
+    """Raise :class:`LockOrderViolation` if any lock cycle was recorded."""
+    cycle = find_cycle()
+    if cycle is None:
+        return
+    edge_map = edges()
+    details = []
+    for a, b in zip(cycle, cycle[1:]):
+        thread, ordinal = edge_map[(a, b)]
+        details.append(f"  {a} -> {b}  (first seen on thread {thread!r}, edge #{ordinal})")
+    raise LockOrderViolation(
+        "lock acquisition cycle recorded at runtime:\n" + "\n".join(details)
+    )

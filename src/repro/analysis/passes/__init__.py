@@ -1,0 +1,3 @@
+"""Built-in analysis passes — importing this package registers them."""
+
+from repro.analysis.passes import determinism, locks, registry, wire  # noqa: F401

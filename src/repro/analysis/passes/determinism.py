@@ -1,0 +1,148 @@
+"""determinism: no unseeded randomness, no wall clocks in virtual time.
+
+The sim backend's bit-identical-per-seed guarantee (and the thread
+backend's deterministic mode) rests on two conventions:
+
+* every Generator descends from a seed — via :class:`~repro.utils.rng.
+  RngTree` streams or the fixed-seed :func:`~repro.utils.rng.fallback_rng`
+  — so ``np.random.default_rng()`` *with no argument* is banned
+  everywhere, as is touching numpy's module-level RNG state or importing
+  the process-global stdlib ``random`` module;
+* the virtual-time modules (``cluster/``, ``core/``, ``nn/``,
+  ``tensor/``, ``optim/``, ``data/``) never read a wall clock — time
+  there comes from the simulator.  The real-time runtimes (``runtime/``,
+  ``fleet/``, everything else) are allowlisted: wall clocks are their
+  job.
+
+A genuinely-needed exception (e.g. the trainer's wall-time *reporting*)
+gets a site-level ``# lint-ok: determinism`` comment, not an allowlist
+entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.base import AnalysisPass, Finding, SourceFile, SourceTree, register_pass
+
+#: module prefixes where time is virtual and wall-clock reads are bugs
+VIRTUAL_TIME_PREFIXES = ("cluster/", "core/", "nn/", "tensor/", "optim/", "data/")
+
+#: clock-reading callables in the time module (sleep is not a clock read)
+_CLOCK_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+#: numpy module-level RNG state (legacy global API)
+_NP_GLOBAL_RNG = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "shuffle", "permutation", "choice", "normal", "uniform",
+    "standard_normal", "get_state", "set_state",
+}
+
+
+def _dotted(node: ast.AST) -> str:
+    """'a.b.c' for an attribute chain over Names ('' otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _time_imports(source: SourceFile) -> Set[str]:
+    """Clock functions this module imported bare (``from time import X``)."""
+    names: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register_pass
+class DeterminismPass(AnalysisPass):
+    name = "determinism"
+    description = (
+        "no unseeded default_rng(), no module-level RNG state, and no "
+        "wall-clock reads inside the virtual-time modules"
+    )
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for source in tree.files:
+            findings.extend(self._check_file(source))
+        return findings
+
+    def _check_file(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        virtual = source.rel.startswith(VIRTUAL_TIME_PREFIXES)
+        bare_clocks = _time_imports(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(
+                            Finding(
+                                self.name, source.rel, node.lineno,
+                                "stdlib random is process-global state; draw from a "
+                                "seeded numpy Generator (repro.utils.rng) instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                findings.append(
+                    Finding(
+                        self.name, source.rel, node.lineno,
+                        "stdlib random is process-global state; draw from a "
+                        "seeded numpy Generator (repro.utils.rng) instead",
+                    )
+                )
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in ("np.random.default_rng", "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    findings.append(
+                        Finding(
+                            self.name, source.rel, node.lineno,
+                            "unseeded np.random.default_rng() — every stream must "
+                            "descend from a seed (use repro.utils.rng.fallback_rng "
+                            "for optional-rng APIs)",
+                        )
+                    )
+            elif dotted.startswith(("np.random.", "numpy.random.")):
+                attr = dotted.rsplit(".", 1)[1]
+                if attr in _NP_GLOBAL_RNG:
+                    findings.append(
+                        Finding(
+                            self.name, source.rel, node.lineno,
+                            f"{dotted}() touches numpy's module-level RNG state; "
+                            f"use an explicit Generator",
+                        )
+                    )
+            if virtual:
+                is_clock = (
+                    dotted.startswith("time.") and dotted[5:] in _CLOCK_FUNCS
+                ) or (isinstance(node.func, ast.Name) and node.func.id in bare_clocks)
+                if is_clock:
+                    findings.append(
+                        Finding(
+                            self.name, source.rel, node.lineno,
+                            f"wall-clock read {dotted or ast.unparse(node.func)}() in a "
+                            f"virtual-time module — time here must come from the "
+                            f"simulator clock",
+                        )
+                    )
+        return findings

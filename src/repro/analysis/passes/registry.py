@@ -1,0 +1,235 @@
+"""registry-consistency: one name, everywhere it is advertised.
+
+A component name (algorithm, backend, topology, codec, dataset, model)
+appears in up to four places: the config-level tuple that validates it,
+the registration site that implements it, the CLI help text that
+advertises it, and the README matrix that documents it.  These drift
+independently — this pass pins them together:
+
+* ``core/config.py``'s ``ALGORITHMS``/``TOPOLOGIES``/``COMM_CODECS``
+  tuples must equal the implementation sets (the ``make_update_rule``
+  dispatch literals, ``register_topology`` calls, ``register_codec``
+  class ``name`` attributes);
+* every registered backend/topology/codec name must appear verbatim in
+  ``cli.py`` (the prose help is what users see — dynamic ``choices=``
+  lists already track the registries by construction);
+* every registered name in every category must appear in the README.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.base import AnalysisPass, Finding, SourceFile, SourceTree, register_pass
+
+CONFIG_PATH = "core/config.py"
+ALGORITHMS_IMPL_PATH = "core/algorithms/__init__.py"
+CLI_PATH = "cli.py"
+
+#: category -> (registration file, register_* function name)
+_REGISTRATION_SITES = {
+    "backend": ("runtime/backends.py", "register_backend"),
+    "topology": ("cluster/topology.py", "register_topology"),
+    "codec": ("runtime/codecs.py", "register_codec"),
+    "dataset": ("data/registry.py", "register_dataset"),
+    "model": ("nn/registry.py", "register_model"),
+}
+
+#: config tuple name -> (category, registration source of truth)
+_CONFIG_TUPLES = {
+    "TOPOLOGIES": "topology",
+    "COMM_CODECS": "codec",
+}
+
+
+def _module_tuple(source: SourceFile, name: str) -> Tuple[List[str], Optional[int]]:
+    """String elements of a module-level ``NAME = ("a", "b", ...)``."""
+    for node in source.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            values = [
+                e.value
+                for e in node.value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+            return values, node.lineno
+    return [], None
+
+
+def _class_name_attrs(source: SourceFile) -> Dict[str, Tuple[str, int]]:
+    """class -> (its ``name = "..."`` attribute value, lineno)."""
+    out: Dict[str, Tuple[str, int]] = {}
+    for node in source.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "name"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                out[node.name] = (stmt.value.value, stmt.lineno)
+    return out
+
+
+def _registered_names(source: SourceFile, register_func: str) -> List[Tuple[str, int]]:
+    """Literal names passed to ``register_func(...)`` calls in the module.
+
+    ``register_codec`` registers a *class* whose ``name`` attribute is
+    the key; resolve those through the module's class table.
+    """
+    class_names = _class_name_attrs(source)
+    names: List[Tuple[str, int]] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        func_name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if func_name != register_func:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            names.append((first.value, node.lineno))
+        elif isinstance(first, ast.Name) and first.id in class_names:
+            value, _ = class_names[first.id]
+            names.append((value, node.lineno))
+    return names
+
+
+def _dispatch_literals(source: SourceFile, variable: str) -> List[Tuple[str, int]]:
+    """Literals compared against ``variable`` (``algorithm == "asgd"``)."""
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left] + list(node.comparators)
+        if not any(isinstance(s, ast.Name) and s.id == variable for s in sides):
+            continue
+        for side in sides:
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                out.append((side.value, node.lineno))
+    return out
+
+
+def _mentions(text: str, name: str) -> bool:
+    """Whole-word-ish presence (so 'ring' never matches 'string')."""
+    return re.search(rf"(?<![\w-]){re.escape(name)}(?![\w-])", text) is not None
+
+
+@register_pass
+class RegistryConsistencyPass(AnalysisPass):
+    name = "registry"
+    description = (
+        "algorithm/backend/topology/codec/dataset/model names agree across "
+        "config tuples, registration sites, CLI help, and the README"
+    )
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        config = tree.find(CONFIG_PATH)
+        cli = tree.find(CLI_PATH)
+        readme = tree.readme_text
+
+        registered: Dict[str, List[Tuple[str, int, str]]] = {}
+        for category, (path, register_func) in _REGISTRATION_SITES.items():
+            source = tree.find(path)
+            if source is None:
+                continue
+            registered[category] = [
+                (name, lineno, path)
+                for name, lineno in _registered_names(source, register_func)
+            ]
+
+        # algorithms: the config tuple vs the update-rule dispatch chain
+        impl = tree.find(ALGORITHMS_IMPL_PATH)
+        if config is not None and impl is not None:
+            declared, decl_line = _module_tuple(config, "ALGORITHMS")
+            dispatched = _dispatch_literals(impl, "algorithm")
+            if decl_line is not None:
+                registered["algorithm"] = [
+                    (name, lineno, ALGORITHMS_IMPL_PATH) for name, lineno in dispatched
+                ]
+                dispatched_names = {name for name, _ in dispatched}
+                for name in declared:
+                    if name not in dispatched_names:
+                        findings.append(
+                            Finding(
+                                self.name, CONFIG_PATH, decl_line,
+                                f"ALGORITHMS declares {name!r} but make_update_rule "
+                                f"never dispatches on it",
+                            )
+                        )
+                for name, lineno in dispatched:
+                    if name not in declared:
+                        findings.append(
+                            Finding(
+                                self.name, ALGORITHMS_IMPL_PATH, lineno,
+                                f"make_update_rule dispatches on {name!r}, which is "
+                                f"missing from core/config.py ALGORITHMS",
+                            )
+                        )
+
+        # config tuples vs registration sites (both directions)
+        if config is not None:
+            for tuple_name, category in _CONFIG_TUPLES.items():
+                declared, decl_line = _module_tuple(config, tuple_name)
+                entries = registered.get(category)
+                if decl_line is None or entries is None:
+                    continue
+                entry_names = {name for name, _, _ in entries}
+                for name in declared:
+                    if name not in entry_names:
+                        findings.append(
+                            Finding(
+                                self.name, CONFIG_PATH, decl_line,
+                                f"{tuple_name} declares {name!r} but no {category} "
+                                f"of that name is registered",
+                            )
+                        )
+                for name, lineno, path in entries:
+                    if name not in declared:
+                        findings.append(
+                            Finding(
+                                self.name, path, lineno,
+                                f"registered {category} {name!r} is missing from "
+                                f"core/config.py {tuple_name}",
+                            )
+                        )
+
+        # CLI prose: what users are told exists
+        if cli is not None:
+            for category in ("backend", "topology", "codec"):
+                for name, lineno, path in registered.get(category, []):
+                    if not _mentions(cli.text, name):
+                        findings.append(
+                            Finding(
+                                self.name, path, lineno,
+                                f"registered {category} {name!r} is not advertised "
+                                f"anywhere in cli.py",
+                            )
+                        )
+
+        # README matrices: every name in every category
+        if readme:
+            for category in sorted(registered):
+                for name, lineno, path in registered[category]:
+                    if not _mentions(readme, name):
+                        findings.append(
+                            Finding(
+                                self.name, path, lineno,
+                                f"registered {category} {name!r} does not appear in "
+                                f"the README",
+                            )
+                        )
+        return findings

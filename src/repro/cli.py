@@ -307,8 +307,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     info_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
     _add_common(info_p)
 
+    lint_p = sub.add_parser(
+        "lint", help="run the repro.analysis invariant passes over the source tree"
+    )
+    lint_p.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="run only this pass; repeatable (default: all passes)",
+    )
+    lint_p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="tree to analyze (default: the installed repro package)",
+    )
+    lint_p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression baseline (default: lint-baseline.json found "
+             "walking up from the analyzed root)",
+    )
+    lint_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="list available passes and exit"
+    )
+
     args = parser.parse_args(argv)
 
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "agent":
         return _cmd_agent(args)
     if args.command == "store":
@@ -438,6 +464,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(rows, fh, indent=2)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        BASELINE_FILENAME,
+        apply_baseline,
+        available_rules,
+        load_baseline,
+        run_passes,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        from repro.analysis import PASSES, load_builtin_passes
+
+        load_builtin_passes()
+        for name in available_rules():
+            print(f"{name:14s} {PASSES.get(name).description}")
+        return 0
+
+    if args.root is not None:
+        root = Path(args.root).resolve()
+    else:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    if not root.is_dir():
+        print(f"lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None:
+        for candidate_dir in (root, *root.parents):
+            candidate = candidate_dir / BASELINE_FILENAME
+            if candidate.is_file():
+                baseline_path = candidate
+                break
+
+    findings = run_passes(root, rules=args.rule)
+
+    if args.update_baseline:
+        target = baseline_path or root / BASELINE_FILENAME
+        save_baseline(target, findings)
+        print(f"lint: wrote {len(findings)} suppression(s) to {target}")
+        return 0
+
+    entries = load_baseline(baseline_path) if baseline_path else []
+    fresh, suppressed, stale = apply_baseline(findings, entries)
+
+    for finding in fresh:
+        print(finding)
+    for entry in stale:
+        print(
+            f"lint: stale baseline entry [{entry.get('rule', '?')}] "
+            f"{entry.get('path', '?')}: {entry.get('message', '?')}",
+            file=sys.stderr,
+        )
+    if fresh:
+        print(
+            f"lint: {len(fresh)} finding(s)"
+            + (f", {len(suppressed)} baselined" if suppressed else ""),
+            file=sys.stderr,
+        )
+        return 1
+    summary = f"lint: clean ({len(findings) - len(fresh)} baselined)" if suppressed else "lint: clean"
+    print(summary)
     return 0
 
 

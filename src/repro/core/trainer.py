@@ -224,6 +224,8 @@ class DistributedTrainer:
     # ------------------------------------------------------------------ #
     def run(self) -> RunResult:
         """Execute the configured run and collect the result."""
+        # wall_time is reporting-only, never fed back into the simulation
+        # (virtual time drives everything else)  # lint-ok: determinism
         wall_start = time.perf_counter()
         start_jitter = self.rng_tree.child("start").generator("jitter")
         for m in range(self.config.num_workers):
@@ -236,7 +238,9 @@ class DistributedTrainer:
         # finish-eval raced the stop): take one final snapshot
         self.session.ensure_final_eval(self.sim.now)
         return self.session.build_result(
-            self.sim.now, backend="sim", wall_time=time.perf_counter() - wall_start
+            self.sim.now,
+            backend="sim",
+            wall_time=time.perf_counter() - wall_start,  # lint-ok: determinism
         )
 
     # backward-compat shims (pre-runtime callers/tests) ----------------------------------

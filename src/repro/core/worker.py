@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.lockorder import make_lock
 from repro.core.algorithms.lcasgd import compensation_seed
 from repro.core.state import CompensationReply, GradientPayload, WorkerState
 from repro.data.loader import DataLoader
@@ -44,7 +45,7 @@ class DistributedWorker:
         # backend holds it during forward/backward, and local-BN-mode eval
         # acquires it to snapshot this replica's running statistics
         # consistently.  Uncontended (and thus free) under the simulator.
-        self.model_lock = threading.Lock()
+        self.model_lock = make_lock("DistributedWorker.model_lock")
         self.pull_version = -1
         self.last_t_comm = 0.0
         self.last_t_comp = 0.0

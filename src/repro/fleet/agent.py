@@ -43,6 +43,7 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
+from repro.analysis.lockorder import make_lock
 from repro.fleet import protocol
 from repro.runtime.wire import ConnectionClosed, FrameConnection, WireError
 from repro.utils.logging import get_logger
@@ -92,9 +93,9 @@ class FleetAgent:
         self._listener: Optional[socket.socket] = None
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
-        self._live_conns: List[FrameConnection] = []
-        self._conns_lock = threading.Lock()
-        self._session_lock = threading.Lock()  # one scheduler at a time
+        self._live_conns: List[FrameConnection] = []  # guarded-by: _conns_lock
+        self._conns_lock = make_lock("FleetAgent._conns_lock")
+        self._session_lock = make_lock("FleetAgent._session_lock")  # one scheduler at a time
         self._name: Optional[str] = None  # cached at start (survives close)
 
     # ------------------------------------------------------------------ #
@@ -221,7 +222,7 @@ class FleetAgent:
         kind, doc = protocol.parse_frame(doc)
         if kind != "hello":
             raise protocol.FleetProtocolError(f"expected hello, got {kind}")
-        send_lock = threading.Lock()
+        send_lock = make_lock("FleetAgent.send_lock")
         self._send(conn, send_lock, protocol.welcome_frame(self.slots, self.name))
 
         hb_stop = threading.Event()

@@ -45,6 +45,7 @@ from repro.core.metrics import CurvePoint, RunResult
 from repro.experiments.events import CampaignEvents
 from repro.experiments.executors import Executor, Job
 from repro.experiments.spec import ExperimentSpec
+from repro.analysis.lockorder import make_lock
 from repro.fleet import protocol
 from repro.runtime.wire import ConnectionClosed, FrameConnection, WireError
 from repro.utils.logging import get_logger
@@ -82,7 +83,7 @@ class AgentLink:
         self.inflight: Dict[str, Tuple[int, ExperimentSpec, int]] = {}
         self.alive = True
         self.last_seen = time.monotonic()
-        self._send_lock = threading.Lock()
+        self._send_lock = make_lock("AgentLink._send_lock")
 
         sock = _socket.create_connection((host, self.port), timeout=connect_timeout)
         self.conn = FrameConnection(sock)

@@ -10,6 +10,7 @@ from repro.nn import init as init_mod
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class Conv2d(Module):
@@ -48,7 +49,7 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         initializer = init_mod.get_initializer(init)
         self.weight = Parameter(
             initializer((out_channels, in_channels, kernel_size, kernel_size), gen)

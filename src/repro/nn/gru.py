@@ -17,6 +17,7 @@ from repro.nn.container import ModuleList
 from repro.nn.module import Module, Parameter
 from repro.tensor import stack, zeros
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class GRUCell(Module):
@@ -38,7 +39,7 @@ class GRUCell(Module):
             raise ValueError("input_size and hidden_size must be positive")
         self.input_size = input_size
         self.hidden_size = hidden_size
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         self.w_ih = Parameter(init_mod.lecun_uniform((2 * hidden_size, input_size), gen))
         self.w_hh = Parameter(init_mod.lecun_uniform((2 * hidden_size, hidden_size), gen))
         self.bias = Parameter(np.zeros(2 * hidden_size, dtype=np.float32))
@@ -81,7 +82,7 @@ class GRU(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         cells: List[GRUCell] = []
         for layer in range(num_layers):
             cells.append(GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng=gen))

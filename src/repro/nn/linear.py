@@ -10,6 +10,7 @@ from repro.nn import init as init_mod
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class Linear(Module):
@@ -40,7 +41,7 @@ class Linear(Module):
             raise ValueError("in_features and out_features must be positive")
         self.in_features = in_features
         self.out_features = out_features
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         initializer = init_mod.get_initializer(init)
         self.weight = Parameter(initializer((out_features, in_features), gen))
         if bias:

@@ -18,6 +18,7 @@ from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.nn.norm import BatchNorm1d
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class MLP(Module):
@@ -48,7 +49,7 @@ class MLP(Module):
             raise ValueError("all layer sizes must be positive")
         self.sizes = sizes
         self.batch_norm = batch_norm
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         layers = []
         for i in range(len(sizes) - 2):
             layers.append(Linear(sizes[i], sizes[i + 1], bias=not batch_norm, rng=gen))

@@ -15,6 +15,7 @@ import numpy as np
 from repro.nn.module import Module, Parameter
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class Dropout(Module):
@@ -25,7 +26,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = float(p)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else fallback_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self._rng)

@@ -25,6 +25,7 @@ from repro.nn.module import Module
 from repro.nn.norm import BatchNorm2d
 from repro.nn.pooling import GlobalAvgPool2d
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 def _conv_bn(
@@ -119,7 +120,7 @@ class ResNet(Module):
         super().__init__()
         if not layers or any(n <= 0 for n in layers):
             raise ValueError("layers must be a non-empty sequence of positive ints")
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         self.block_type = block.__name__
         self.stem = _conv_bn(in_channels, base_width, 3, 1, 1, gen)
         self.relu = ReLU()

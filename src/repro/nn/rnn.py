@@ -17,6 +17,7 @@ from repro.nn.container import ModuleList
 from repro.nn.module import Module, Parameter
 from repro.tensor import concat, stack, zeros
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class LSTMCell(Module):
@@ -38,7 +39,7 @@ class LSTMCell(Module):
             raise ValueError("input_size and hidden_size must be positive")
         self.input_size = input_size
         self.hidden_size = hidden_size
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         self.w_ih = Parameter(init_mod.lecun_uniform((4 * hidden_size, input_size), gen))
         self.w_hh = Parameter(init_mod.lecun_uniform((4 * hidden_size, hidden_size), gen))
         bias = np.zeros(4 * hidden_size, dtype=np.float32)
@@ -89,7 +90,7 @@ class LSTM(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else fallback_rng()
         cells: List[LSTMCell] = []
         for layer in range(num_layers):
             cells.append(LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=gen))

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.lockorder import make_condition
 from repro.cluster.network import LinkModel
 from repro.cluster.topology import TopologyModel, make_topology
 from repro.core.algorithms import make_update_rule
@@ -82,10 +83,10 @@ class PairingBoard:
 
     def __init__(self, topology: TopologyModel) -> None:
         self._topology = topology
-        self._cond = threading.Condition()
-        self._waiting: Dict[int, int] = {}  # worker -> desired partner
-        self._matches: Dict[int, int] = {}  # worker -> assigned partner
-        self._open = True
+        self._cond = make_condition("PairingBoard._cond")
+        self._waiting: Dict[int, int] = {}  # guarded-by: _cond — worker -> desired partner
+        self._matches: Dict[int, int] = {}  # guarded-by: _cond — worker -> assigned partner
+        self._open = True  # guarded-by: _cond
 
     def _pick_partner(self, worker: int, desired: int) -> Optional[int]:
         """Choose a waiting neighbor under the lock (desired first)."""

@@ -52,6 +52,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.lockorder import make_lock
 from repro.cluster.network import NetworkModel
 from repro.core.metrics import RunResult
 from repro.nn.norm import bn_layers, load_bn_running_stats
@@ -112,13 +113,17 @@ class SocketTransport:
         #: downlink frames as sent — real socket bytes, codec included)
         self.stats = CommStats(self.num_workers)
         self._conns: List[Optional[FrameConnection]] = [None] * self.num_workers
-        self._send_locks = [threading.Lock() for _ in range(self.num_workers)]
+        self._send_locks = [
+            make_lock("SocketTransport._send_lock") for _ in range(self.num_workers)
+        ]
         self._readers: List[threading.Thread] = []
         self._closed = threading.Event()
         #: called as (worker, exception) when a link dies mid-run
         self.on_worker_failure: Optional[Callable[[int, Exception], None]] = None
-        #: worker -> BN running stats streamed at shutdown (bn_mode="local")
-        self.bn_stats: Dict[int, tuple] = {}
+        self._bn_lock = make_lock("SocketTransport._bn_lock")
+        #: worker -> BN running stats streamed at shutdown (bn_mode="local");
+        #: written by per-worker reader threads, read after bn_stats_ready
+        self.bn_stats: Dict[int, tuple] = {}  # guarded-by: _bn_lock
         self.bn_stats_ready = threading.Event()
 
     # ------------------------------------------------------------------ #
@@ -148,7 +153,8 @@ class SocketTransport:
                 if isinstance(message, BnStatsPush):
                     # shutdown-time sideband, not Algorithm-2 traffic: the
                     # server actor has already drained by the time it lands
-                    self.bn_stats[worker] = message.stats
+                    with self._bn_lock:
+                        self.bn_stats[worker] = message.stats
                     self.bn_stats_ready.set()
                     continue
                 self.server_inbox.put(message)

@@ -15,6 +15,7 @@ import threading
 import time
 from typing import Optional
 
+from repro.analysis.lockorder import make_lock
 from repro.runtime.messages import (
     CombinedPush,
     CompensationMessage,
@@ -33,8 +34,8 @@ class RunControl:
     def __init__(self) -> None:
         self.done = threading.Event()
         self._start = 0.0
-        self._error: Optional[BaseException] = None
-        self._error_lock = threading.Lock()
+        self._error: Optional[BaseException] = None  # guarded-by: _error_lock
+        self._error_lock = make_lock("RunControl._error_lock")
 
     def start_clock(self) -> None:
         self._start = time.perf_counter()

@@ -32,6 +32,7 @@ import threading
 import time
 from typing import Optional
 
+from repro.analysis.lockorder import make_condition
 from repro.core.metrics import RunResult
 from repro.runtime.messages import (
     CombinedPush,
@@ -60,9 +61,9 @@ class RoundRobinTurnstile:
     """
 
     def __init__(self, num_workers: int) -> None:
-        self._cond = threading.Condition()
-        self._order = list(range(num_workers))
-        self._turn = 0  # index into _order
+        self._cond = make_condition("RoundRobinTurnstile._cond")
+        self._order = list(range(num_workers))  # guarded-by: _cond
+        self._turn = 0  # guarded-by: _cond — index into _order
 
     def _holder(self) -> Optional[int]:
         return self._order[self._turn] if self._order else None

@@ -24,6 +24,7 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
+from repro.analysis.lockorder import make_condition, make_lock
 from repro.cluster.network import NetworkModel
 from repro.runtime.codecs import make_codec
 from repro.runtime.messages import Message
@@ -52,12 +53,12 @@ class CommStats:
     """
 
     def __init__(self, num_workers: int) -> None:
-        self._lock = threading.Lock()
-        self.messages = 0
-        self.logical_bytes = 0
-        self.wire_bytes = 0
-        self.server_bytes = 0
-        self.worker_bytes: List[int] = [0] * int(num_workers)
+        self._lock = make_lock("CommStats._lock")
+        self.messages = 0  # guarded-by: _lock
+        self.logical_bytes = 0  # guarded-by: _lock
+        self.wire_bytes = 0  # guarded-by: _lock
+        self.server_bytes = 0  # guarded-by: _lock
+        self.worker_bytes: List[int] = [0] * int(num_workers)  # guarded-by: _lock
 
     def count(self, worker: int, nbytes: int, wire_nbytes: Optional[int] = None) -> None:
         """One message between the hub endpoint and ``worker``."""
@@ -110,9 +111,9 @@ class Mailbox:
     """
 
     def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._items: Deque[Tuple[Message, float]] = deque()
-        self._expedited = False
+        self._cond = make_condition("Mailbox._cond")
+        self._items: Deque[Tuple[Message, float]] = deque()  # guarded-by: _cond
+        self._expedited = False  # guarded-by: _cond
 
     def put(self, message: Message, not_before: float = 0.0) -> None:
         """Enqueue ``message``, deliverable no earlier than ``not_before``."""

@@ -66,12 +66,14 @@ from repro.runtime.messages import (
     BnStatsPush,
     CombinedPush,
     CompensationMessage,
+    GossipReport,
     GradientPush,
     Message,
     PullReply,
     PullRequest,
     Shutdown,
     StatePush,
+    WeightExchange,
 )
 
 #: bumped whenever the header schema or codec tables change incompatibly;
@@ -336,6 +338,62 @@ def _dec_bn_stats(fields, arrays, owned):
     return BnStatsPush(int(fields["worker"]), stats=stats)
 
 
+def _enc_weight_exchange(msg: WeightExchange):
+    fields = {
+        "worker": msg.worker,
+        "step": int(msg.step),
+        "has_weights": msg.weights is not None,
+        "bn_layers": len(msg.bn_stats),
+    }
+    arrays: List[Tuple[str, np.ndarray]] = []
+    if msg.weights is not None:
+        arrays.append((ROLE_WEIGHTS, msg.weights))
+    for mean, var in msg.bn_stats:
+        arrays.append((ROLE_BN, mean))
+        arrays.append((ROLE_BN, var))
+    return fields, arrays
+
+
+def _dec_weight_exchange(fields, arrays, owned):
+    base = 0
+    weights = None
+    if fields["has_weights"]:
+        weights = _owned(arrays[0], owned[0])
+        base = 1
+    layers = int(fields["bn_layers"])
+    bn_stats = tuple(
+        (
+            _owned(arrays[base + 2 * i], owned[base + 2 * i]),
+            _owned(arrays[base + 2 * i + 1], owned[base + 2 * i + 1]),
+        )
+        for i in range(layers)
+    )
+    return WeightExchange(
+        int(fields["worker"]),
+        weights=weights,
+        bn_stats=bn_stats,
+        step=int(fields["step"]),
+    )
+
+
+def _enc_gossip_report(msg: GossipReport):
+    return {
+        "worker": msg.worker,
+        "loss": float(msg.loss),
+        "staleness": int(msg.staleness),
+        "local_step": int(msg.local_step),
+    }, []
+
+
+def _dec_gossip_report(fields, arrays, owned):
+    return GossipReport(
+        int(fields["worker"]),
+        loss=float(fields["loss"]),
+        staleness=int(fields["staleness"]),
+        local_step=int(fields["local_step"]),
+    )
+
+
 _CODECS = {
     "PullRequest": (PullRequest, _enc_pull_request, _dec_pull_request),
     "PullReply": (PullReply, _enc_pull_reply, _dec_pull_reply),
@@ -345,6 +403,8 @@ _CODECS = {
     "CombinedPush": (CombinedPush, _enc_combined_push, _dec_combined_push),
     "Shutdown": (Shutdown, _enc_shutdown, _dec_shutdown),
     "BnStatsPush": (BnStatsPush, _enc_bn_stats, _dec_bn_stats),
+    "WeightExchange": (WeightExchange, _enc_weight_exchange, _dec_weight_exchange),
+    "GossipReport": (GossipReport, _enc_gossip_report, _dec_gossip_report),
 }
 _ENCODERS = {cls: (kind, enc) for kind, (cls, enc, _) in _CODECS.items()}
 

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 __all__ = [
     "linear",
@@ -394,7 +395,7 @@ def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = rng if rng is not None else fallback_rng()
     mask = (gen.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     out_data = x.data * mask
 

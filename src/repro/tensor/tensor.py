@@ -20,6 +20,7 @@ import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from repro.utils.rng import fallback_rng
 
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
@@ -623,7 +624,7 @@ def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool
     """Standard-normal tensor drawn from ``rng`` (new default_rng if None)."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = rng if rng is not None else fallback_rng()
     return Tensor(gen.standard_normal(shape).astype(dtype), requires_grad=requires_grad)
 
 
@@ -631,7 +632,7 @@ def uniform(*shape, low: float = 0.0, high: float = 1.0, rng: Optional[np.random
     """Uniform tensor on ``[low, high)``."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    gen = rng if rng is not None else np.random.default_rng()
+    gen = rng if rng is not None else fallback_rng()
     return Tensor(gen.uniform(low, high, shape).astype(dtype), requires_grad=requires_grad)
 
 

@@ -17,6 +17,25 @@ import numpy as np
 
 SeedLike = Union[int, np.random.Generator, "RngTree", None]
 
+#: the seed behind :func:`fallback_rng` — arbitrary but stable, so code
+#: paths that never received an explicit seed are still reproducible
+FALLBACK_SEED = 0x5EED
+
+
+def fallback_rng() -> np.random.Generator:
+    """A fresh, deterministically-seeded Generator for optional-``rng`` APIs.
+
+    Layers and tensor factories accept ``rng=None`` for convenience; the
+    fallback used to be an *unseeded* ``default_rng()``, which made "I
+    forgot to pass an rng" silently nondeterministic.  Every such call
+    now starts from :data:`FALLBACK_SEED` instead.  Each call returns an
+    independent Generator with the same initial state — two Dropout
+    layers built without an rng will draw identical streams, which is
+    the price of determinism by default; pass explicit generators (e.g.
+    from an :class:`RngTree`) where streams must differ.
+    """
+    return np.random.default_rng(FALLBACK_SEED)
+
 
 def _hash_name(name: str) -> int:
     """Map a child name to a stable 64-bit integer."""
@@ -76,9 +95,13 @@ class RngTree:
 
 
 def as_generator(seed: SeedLike, name: str = "default") -> np.random.Generator:
-    """Coerce ``seed`` (int / Generator / RngTree / None) to a Generator."""
+    """Coerce ``seed`` (int / Generator / RngTree / None) to a Generator.
+
+    ``None`` coerces to the deterministic :func:`fallback_rng`, keeping
+    seedless call sites reproducible rather than silently random.
+    """
     if seed is None:
-        return np.random.default_rng()
+        return fallback_rng()
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, RngTree):

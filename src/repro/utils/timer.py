@@ -6,6 +6,8 @@ import threading
 import time
 from typing import Dict, List
 
+from repro.analysis.lockorder import make_lock
+
 
 class WallTimer:
     """Context manager measuring wall-clock seconds via ``perf_counter``."""
@@ -37,7 +39,7 @@ class Timer:
         self._counts: Dict[str, int] = {}
         self._samples: Dict[str, List[float]] = {}
         # the thread runtime records sections from several threads at once
-        self._lock = threading.Lock()
+        self._lock = make_lock("Timer._lock")
 
     class _Section:
         def __init__(self, timer: "Timer", name: str) -> None:

@@ -1,0 +1,28 @@
+"""Fixture-tree helpers for the analysis-pass tests."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+
+def write_tree(root: Path, files: Dict[str, str]) -> Path:
+    """Materialize ``{relpath: source}`` under ``root`` and return it."""
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def make_fixture_tree(tmp_path):
+    """Factory: build a throwaway source tree for a pass to analyze."""
+
+    def _make(files: Dict[str, str]) -> Path:
+        return write_tree(tmp_path / "pkg", files)
+
+    return _make

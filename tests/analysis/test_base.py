@@ -1,0 +1,75 @@
+"""Framework tests: Finding, suppressions, the pass registry, run_passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Finding, available_rules, run_passes
+from repro.analysis.base import SourceTree
+
+BUILTIN_RULES = ("determinism", "locks", "registry", "wire")
+
+
+def test_finding_str_and_fingerprint():
+    f = Finding("wire", "runtime/messages.py", 12, "no codec")
+    assert str(f) == "runtime/messages.py:12: error [wire] no codec"
+    assert f.location == "runtime/messages.py:12"
+    assert f.fingerprint == "wire::runtime/messages.py::no codec"
+    # fingerprints ignore line numbers so baselines survive unrelated edits
+    assert Finding("wire", "runtime/messages.py", 99, "no codec").fingerprint == f.fingerprint
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        Finding("wire", "a.py", 1, "x", severity="fatal")
+
+
+def test_available_rules_contains_builtins():
+    rules = available_rules()
+    for rule in BUILTIN_RULES:
+        assert rule in rules
+
+
+def test_source_tree_reports_parse_failures(make_fixture_tree):
+    root = make_fixture_tree({"broken.py": "def oops(:\n", "fine.py": "x = 1\n"})
+    tree = SourceTree(root)
+    assert [f.rel for f in tree.files] == ["fine.py"]
+    assert len(tree.parse_failures) == 1
+    assert tree.parse_failures[0].rule == "parse"
+    assert tree.parse_failures[0].path == "broken.py"
+
+
+def test_inline_suppression_same_line_and_line_above(make_fixture_tree):
+    root = make_fixture_tree(
+        {
+            "core/a.py": """\
+            import numpy as np
+
+            r1 = np.random.default_rng()  # lint-ok: determinism
+            # lint-ok: determinism
+            r2 = np.random.default_rng()
+            r3 = np.random.default_rng()
+            """
+        }
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert len(findings) == 1
+    assert findings[0].line == 6
+
+
+def test_run_passes_rule_filter(make_fixture_tree):
+    root = make_fixture_tree({"core/a.py": "import numpy as np\nr = np.random.default_rng()\n"})
+    assert run_passes(root, rules=["wire"]) == []
+    assert len(run_passes(root, rules=["determinism"])) == 1
+
+
+def test_run_passes_sorted_by_location(make_fixture_tree):
+    root = make_fixture_tree(
+        {
+            "core/b.py": "import random\n",
+            "core/a.py": "import random\nimport numpy as np\nr = np.random.default_rng()\n",
+        }
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert [f.path for f in findings] == ["core/a.py", "core/a.py", "core/b.py"]
+    assert findings[0].line <= findings[1].line

@@ -1,0 +1,67 @@
+"""Baseline load/save/apply semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Finding, apply_baseline, load_baseline, save_baseline
+
+
+def _finding(message: str) -> Finding:
+    return Finding("wire", "runtime/messages.py", 10, message)
+
+
+def test_absent_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == []
+
+
+def test_roundtrip_and_apply(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    old = _finding("old finding")
+    save_baseline(path, [old], reason="inherited")
+    entries = load_baseline(path)
+    assert entries == [
+        {
+            "rule": "wire",
+            "path": "runtime/messages.py",
+            "message": "old finding",
+            "reason": "inherited",
+        }
+    ]
+
+    fresh, suppressed, stale = apply_baseline([old, _finding("new finding")], entries)
+    assert [f.message for f in fresh] == ["new finding"]
+    assert [f.message for f in suppressed] == ["old finding"]
+    assert stale == []
+
+
+def test_stale_entries_surface(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    save_baseline(path, [_finding("fixed since")])
+    fresh, suppressed, stale = apply_baseline([], load_baseline(path))
+    assert fresh == [] and suppressed == []
+    assert [e["message"] for e in stale] == ["fixed since"]
+
+
+def test_baseline_matches_by_fingerprint_not_line(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    save_baseline(path, [_finding("same message")])
+    moved = Finding("wire", "runtime/messages.py", 999, "same message")
+    fresh, suppressed, _ = apply_baseline([moved], load_baseline(path))
+    assert fresh == [] and suppressed == [moved]
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 99, "suppressions": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_load_rejects_malformed_document(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 1, "suppressions": "nope"}))
+    with pytest.raises(ValueError):
+        load_baseline(path)

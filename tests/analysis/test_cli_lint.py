@@ -1,0 +1,106 @@
+"""`repro lint` CLI: exit codes, baseline flow, rule selection."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def _write(root, rel, content):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    _write(tmp_path, "pkg/core/ok.py", "x = 1\n")
+    assert main(["lint", "--root", str(tmp_path / "pkg")]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_lint_findings_exit_nonzero_with_locations(tmp_path, capsys):
+    _write(tmp_path, "pkg/core/bad.py", "import numpy as np\nrng = np.random.default_rng()\n")
+    assert main(["lint", "--root", str(tmp_path / "pkg")]) == 1
+    out = capsys.readouterr().out
+    assert "core/bad.py:2:" in out
+    assert "[determinism]" in out
+
+
+def test_lint_rule_filter(tmp_path):
+    _write(tmp_path, "pkg/core/bad.py", "import numpy as np\nrng = np.random.default_rng()\n")
+    assert main(["lint", "--root", str(tmp_path / "pkg"), "--rule", "wire"]) == 0
+    assert main(["lint", "--root", str(tmp_path / "pkg"), "--rule", "determinism"]) == 1
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("wire", "determinism", "locks", "registry"):
+        assert rule in out
+
+
+def test_lint_missing_root_exits_two(tmp_path):
+    assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    _write(tmp_path, "pkg/core/bad.py", "import numpy as np\nrng = np.random.default_rng()\n")
+    baseline = tmp_path / "lint-baseline.json"
+    assert (
+        main(
+            [
+                "lint", "--root", str(tmp_path / "pkg"),
+                "--baseline", str(baseline), "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(baseline.read_text())
+    assert doc["version"] == 1 and len(doc["suppressions"]) == 1
+
+    capsys.readouterr()
+    assert main(["lint", "--root", str(tmp_path / "pkg"), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_baseline_discovered_walking_up_from_root(tmp_path):
+    _write(tmp_path, "pkg/core/bad.py", "import numpy as np\nrng = np.random.default_rng()\n")
+    (tmp_path / "lint-baseline.json").write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "suppressions": [
+                    {
+                        "rule": "determinism",
+                        "path": "core/bad.py",
+                        "message": (
+                            "unseeded np.random.default_rng() — every stream must "
+                            "descend from a seed (use repro.utils.rng.fallback_rng "
+                            "for optional-rng APIs)"
+                        ),
+                        "reason": "test fixture",
+                    }
+                ],
+            }
+        )
+    )
+    assert main(["lint", "--root", str(tmp_path / "pkg")]) == 0
+
+
+def test_stale_baseline_entry_warns_but_passes(tmp_path, capsys):
+    _write(tmp_path, "pkg/core/ok.py", "x = 1\n")
+    baseline = tmp_path / "lint-baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "suppressions": [
+                    {"rule": "wire", "path": "gone.py", "message": "x", "reason": "old"}
+                ],
+            }
+        )
+    )
+    assert main(["lint", "--root", str(tmp_path / "pkg"), "--baseline", str(baseline)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""determinism pass: RNG hygiene everywhere, wall clocks in virtual time."""
+
+from __future__ import annotations
+
+from repro.analysis import run_passes
+
+
+def _messages(findings):
+    return [f.message for f in findings]
+
+
+def test_unseeded_default_rng_flagged_anywhere(make_fixture_tree):
+    root = make_fixture_tree(
+        {"runtime/rt.py": "import numpy as np\nrng = np.random.default_rng()\n"}
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert len(findings) == 1
+    assert "unseeded" in findings[0].message
+
+
+def test_seeded_default_rng_is_fine(make_fixture_tree):
+    root = make_fixture_tree(
+        {
+            "core/a.py": """\
+            import numpy as np
+
+            rng1 = np.random.default_rng(7)
+            rng2 = np.random.default_rng(seed=7)
+            """
+        }
+    )
+    assert run_passes(root, rules=["determinism"]) == []
+
+
+def test_stdlib_random_import_flagged(make_fixture_tree):
+    root = make_fixture_tree(
+        {"runtime/rt.py": "import random\n", "core/a.py": "from random import shuffle\n"}
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert len(findings) == 2
+    assert all("process-global" in m for m in _messages(findings))
+
+
+def test_numpy_global_rng_state_flagged(make_fixture_tree):
+    root = make_fixture_tree(
+        {"utils/u.py": "import numpy as np\nnp.random.seed(0)\nx = np.random.randn(3)\n"}
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert len(findings) == 2
+    assert any("np.random.seed" in m for m in _messages(findings))
+
+
+def test_wall_clock_flagged_only_in_virtual_time_modules(make_fixture_tree):
+    clocky = "import time\nt = time.perf_counter()\n"
+    root = make_fixture_tree(
+        {
+            "core/sim.py": clocky,
+            "cluster/events.py": clocky,
+            "runtime/backend.py": clocky,  # real-time: allowlisted
+            "fleet/agent.py": clocky,  # real-time: allowlisted
+        }
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert sorted(f.path for f in findings) == ["cluster/events.py", "core/sim.py"]
+    assert all("virtual-time" in m for m in _messages(findings))
+
+
+def test_bare_clock_import_flagged_in_virtual_module(make_fixture_tree):
+    root = make_fixture_tree(
+        {"nn/layer.py": "from time import monotonic as now\nt = now()\n"}
+    )
+    findings = run_passes(root, rules=["determinism"])
+    assert len(findings) == 1
+    assert findings[0].line == 2
+
+
+def test_sleep_is_not_a_clock_read(make_fixture_tree):
+    root = make_fixture_tree({"core/sim.py": "import time\ntime.sleep(0.1)\n"})
+    assert run_passes(root, rules=["determinism"]) == []

@@ -1,0 +1,143 @@
+"""lock-discipline pass: guarded-by enforcement and the static order graph."""
+
+from __future__ import annotations
+
+from repro.analysis import run_passes
+
+GUARDED_CLASS = """\
+import threading
+from collections import deque
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = deque()  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items)
+"""
+
+
+def test_clean_guarded_class(make_fixture_tree):
+    root = make_fixture_tree({"runtime/box.py": GUARDED_CLASS})
+    assert run_passes(root, rules=["locks"]) == []
+
+
+def test_unguarded_write_flagged(make_fixture_tree):
+    bad = GUARDED_CLASS + "\n    def sneak(self, item):\n        self._items.append(item)\n"
+    root = make_fixture_tree({"runtime/box.py": bad})
+    findings = run_passes(root, rules=["locks"])
+    assert len(findings) == 1
+    assert "write to self._items outside 'with self._lock'" in findings[0].message
+
+
+def test_unguarded_assignment_and_del_flagged(make_fixture_tree):
+    bad = (
+        GUARDED_CLASS
+        + "\n    def clobber(self):\n        self._count = 0\n        del self._items\n"
+    )
+    root = make_fixture_tree({"runtime/box.py": bad})
+    findings = run_passes(root, rules=["locks"])
+    assert len(findings) == 2
+
+
+def test_init_is_exempt(make_fixture_tree):
+    # GUARDED_CLASS's __init__ assigns the guarded attrs without the lock
+    root = make_fixture_tree({"runtime/box.py": GUARDED_CLASS})
+    assert run_passes(root, rules=["locks"]) == []
+
+
+def test_nested_function_does_not_inherit_held_locks(make_fixture_tree):
+    bad = (
+        GUARDED_CLASS
+        + "\n    def deferred(self):\n"
+        + "        with self._lock:\n"
+        + "            def flush():\n"
+        + "                self._items.clear()\n"
+        + "            return flush\n"
+    )
+    root = make_fixture_tree({"runtime/box.py": bad})
+    findings = run_passes(root, rules=["locks"])
+    assert len(findings) == 1
+    assert "self._items" in findings[0].message
+
+
+def test_reads_are_not_flagged(make_fixture_tree):
+    ok = GUARDED_CLASS + "\n    def peek(self):\n        return len(self._items)\n"
+    root = make_fixture_tree({"runtime/box.py": ok})
+    assert run_passes(root, rules=["locks"]) == []
+
+
+def test_static_lock_order_cycle_flagged(make_fixture_tree):
+    root = make_fixture_tree(
+        {
+            "runtime/ab.py": """\
+            class Pair:
+                def forward(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def backward(self):
+                    with self.b_lock:
+                        with self.a_lock:
+                            pass
+            """
+        }
+    )
+    findings = run_passes(root, rules=["locks"])
+    assert len(findings) == 1
+    assert "static lock acquisition cycle" in findings[0].message
+    assert "Pair.a_lock" in findings[0].message and "Pair.b_lock" in findings[0].message
+
+
+def test_consistent_lock_order_is_fine(make_fixture_tree):
+    root = make_fixture_tree(
+        {
+            "runtime/ab.py": """\
+            class Pair:
+                def forward(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def again(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+            """
+        }
+    )
+    assert run_passes(root, rules=["locks"]) == []
+
+
+def test_cross_file_cycle_flagged(make_fixture_tree):
+    # non-self attributes are identified by bare attribute name, so the
+    # inverted nesting in another module closes the cycle
+    root = make_fixture_tree(
+        {
+            "runtime/x.py": """\
+            def f(a, b):
+                with a.first_lock:
+                    with b.second_lock:
+                        pass
+            """,
+            "runtime/y.py": """\
+            def g(a, b):
+                with b.second_lock:
+                    with a.first_lock:
+                        pass
+            """,
+        }
+    )
+    findings = run_passes(root, rules=["locks"])
+    assert len(findings) == 1
+    assert "cycle" in findings[0].message

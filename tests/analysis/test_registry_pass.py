@@ -1,0 +1,132 @@
+"""registry-consistency pass on a synthetic mini-repo."""
+
+from __future__ import annotations
+
+from repro.analysis import run_passes
+
+CONFIG = """\
+ALGORITHMS = ("sgd", "asgd")
+TOPOLOGIES = ("ring",)
+COMM_CODECS = ("raw32",)
+"""
+
+ALGORITHMS_IMPL = """\
+def make_update_rule(algorithm):
+    if algorithm == "sgd":
+        return 1
+    if algorithm == "asgd":
+        return 2
+    raise ValueError(algorithm)
+"""
+
+TOPOLOGY = """\
+def register_topology(name, builder):
+    pass
+
+
+register_topology("ring", None)
+"""
+
+CODECS = """\
+def register_codec(cls):
+    pass
+
+
+class Raw32Codec:
+    name = "raw32"
+
+
+register_codec(Raw32Codec)
+"""
+
+CLI = '"""Choices: --topology ring, --comm-codec raw32."""\n'
+
+README = "# fixture\n\nAlgorithms: `sgd`, `asgd`. Topology: `ring`. Codec: `raw32`.\n"
+
+
+def _tree(make_fixture_tree, **overrides):
+    files = {
+        "core/config.py": CONFIG,
+        "core/algorithms/__init__.py": ALGORITHMS_IMPL,
+        "cluster/topology.py": TOPOLOGY,
+        "runtime/codecs.py": CODECS,
+        "cli.py": CLI,
+    }
+    files.update(overrides)
+    root = make_fixture_tree(files)
+    (root / "README.md").write_text(overrides.get("README.md", README))
+    return root
+
+
+def test_clean_fixture(make_fixture_tree):
+    root = _tree(make_fixture_tree)
+    assert run_passes(root, rules=["registry"]) == []
+
+
+def test_declared_algorithm_without_dispatch(make_fixture_tree):
+    root = _tree(
+        make_fixture_tree,
+        **{"core/config.py": CONFIG.replace('"sgd", "asgd"', '"sgd", "asgd", "phantom"')},
+    )
+    findings = run_passes(root, rules=["registry"])
+    # phantom: no dispatch branch, and no README mention... but the README
+    # check only covers *registered* names, so exactly one finding
+    assert len(findings) == 1
+    assert "'phantom'" in findings[0].message
+    assert "never dispatches" in findings[0].message
+
+
+def test_dispatched_algorithm_missing_from_config(make_fixture_tree):
+    impl = ALGORITHMS_IMPL.replace(
+        "    raise ValueError(algorithm)",
+        '    if algorithm == "lc-asgd":\n        return 3\n    raise ValueError(algorithm)',
+    )
+    readme = README + "\nAlso mentions lc-asgd so only the config finding fires.\n"
+    root = _tree(
+        make_fixture_tree, **{"core/algorithms/__init__.py": impl, "README.md": readme}
+    )
+    findings = run_passes(root, rules=["registry"])
+    assert len(findings) == 1
+    assert "'lc-asgd'" in findings[0].message
+    assert "missing from core/config.py ALGORITHMS" in findings[0].message
+
+
+def test_config_tuple_entry_with_no_registration(make_fixture_tree):
+    root = _tree(
+        make_fixture_tree,
+        **{"core/config.py": CONFIG.replace('("ring",)', '("ring", "star")')},
+    )
+    findings = run_passes(root, rules=["registry"])
+    assert len(findings) == 1
+    assert "'star'" in findings[0].message
+    assert "no topology of that name is registered" in findings[0].message
+
+
+def test_registered_topology_missing_from_config_cli_and_readme(make_fixture_tree):
+    topo = TOPOLOGY + '\nregister_topology("torus", None)\n'
+    root = _tree(make_fixture_tree, **{"cluster/topology.py": topo})
+    findings = run_passes(root, rules=["registry"])
+    messages = [f.message for f in findings]
+    assert len(findings) == 3
+    assert any("missing from core/config.py TOPOLOGIES" in m for m in messages)
+    assert any("not advertised anywhere in cli.py" in m for m in messages)
+    assert any("does not appear in the README" in m for m in messages)
+
+
+def test_codec_names_resolve_through_class_attribute(make_fixture_tree):
+    codecs = CODECS + '\n\nclass Fp16Codec:\n    name = "fp16"\n\n\nregister_codec(Fp16Codec)\n'
+    root = _tree(make_fixture_tree, **{"runtime/codecs.py": codecs})
+    findings = run_passes(root, rules=["registry"])
+    messages = [f.message for f in findings]
+    assert len(findings) == 3  # config tuple, cli.py, README — all miss fp16
+    assert all("'fp16'" in m for m in messages)
+
+
+def test_readme_mention_is_whole_word(make_fixture_tree):
+    # 'ring' appearing only inside 'string' must not count as a mention
+    readme = "# fixture\n\nAlgorithms: `sgd`, `asgd`. A string. Codec: `raw32`.\n"
+    root = _tree(make_fixture_tree, **{"README.md": readme})
+    findings = run_passes(root, rules=["registry"])
+    assert len(findings) == 1
+    assert "'ring'" in findings[0].message
+    assert "README" in findings[0].message

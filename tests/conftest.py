@@ -14,6 +14,21 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _lock_order_gate():
+    """Fail the session on any lock-order cycle under REPRO_LOCK_TRACE=1.
+
+    With tracing off (the default) this is a no-op; CI runs the
+    concurrent-runtime suites with tracing on, so every lock order the
+    threads actually took is checked for deadlock potential at teardown.
+    """
+    yield
+    from repro.analysis import lockorder
+
+    if lockorder.trace_enabled():
+        lockorder.assert_acyclic()
+
+
 def numeric_gradient(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
     """Central-difference gradient of scalar-valued ``f()`` w.r.t. array ``x``.
 

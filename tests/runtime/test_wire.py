@@ -13,11 +13,13 @@ from repro.runtime.messages import (
     BnStatsPush,
     CombinedPush,
     CompensationMessage,
+    GossipReport,
     GradientPush,
     PullReply,
     PullRequest,
     Shutdown,
     StatePush,
+    WeightExchange,
 )
 from repro.runtime import wire
 from repro.runtime.wire import (
@@ -71,6 +73,18 @@ def _messages():
             ),
         ),
         BnStatsPush(0, stats=()),  # BN-free model
+        WeightExchange(  # one side of an ad-psgd pairwise average
+            2,
+            weights=np.random.default_rng(5).normal(size=21),
+            bn_stats=tuple(
+                (rng.normal(size=3), np.abs(rng.normal(size=3)) + 0.1)
+                for rng in [np.random.default_rng(6)]
+                for _ in range(2)
+            ),
+            step=41,
+        ),
+        WeightExchange(3, weights=None, bn_stats=(), step=0),  # handshake shape
+        GossipReport(1, loss=0.42, staleness=3, local_step=17),
     ]
 
 
@@ -103,6 +117,24 @@ def _assert_equal(original, decoded):
         assert b.loss == pytest.approx(a.loss)
         assert b.grad.dtype == np.float64  # GradientPayload restores math dtype
         np.testing.assert_array_equal(b.grad, a.grad.astype(np.float32))
+    if isinstance(original, WeightExchange):
+        assert decoded.step == original.step
+        if original.weights is None:
+            assert decoded.weights is None
+        else:
+            np.testing.assert_array_equal(
+                decoded.weights, original.weights.astype(np.float32)
+            )
+        assert len(decoded.bn_stats) == len(original.bn_stats)
+        for (m0, v0), (m1, v1) in zip(original.bn_stats, decoded.bn_stats):
+            np.testing.assert_array_equal(m1, np.asarray(m0, dtype=np.float32))
+            np.testing.assert_array_equal(v1, np.asarray(v0, dtype=np.float32))
+    if isinstance(original, GossipReport):
+        assert decoded.loss == pytest.approx(original.loss)
+        assert (decoded.staleness, decoded.local_step) == (
+            original.staleness,
+            original.local_step,
+        )
     if isinstance(original, BnStatsPush):
         assert len(decoded.stats) == len(original.stats)
         for (m0, v0), (m1, v1) in zip(original.stats, decoded.stats):
