@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Serve a live campaign dashboard and watch it from the same process.
+
+A `DashboardEvents` observer mirrors a running Campaign into a JSON
+state document; `serve_dashboard` publishes it over stdlib HTTP.  This
+example runs a small sim sweep on a background thread, polls the real
+endpoint from the main thread, and renders each frame the way
+`repro watch` does — progress bar, per-run curve tails, staleness
+histogram — until the campaign finishes.
+
+The same endpoint is what a sweep started with
+`repro sweep ... --serve PORT` exposes; point `repro watch URL` (or
+curl) at it from any other terminal.
+
+Usage::
+
+    python examples/live_dashboard.py [--port 8642] [--seeds 3] [--interval 0.5]
+"""
+
+import argparse
+import threading
+import time
+
+from repro.core import TrainingConfig
+from repro.experiments import Campaign, ConsoleEvents, Grid, Sweep, make_executor
+from repro.obs.dashboard import (
+    DashboardEvents,
+    fetch_state,
+    render_state,
+    serve_dashboard,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=0,
+                        help="dashboard port (0 picks a free one)")
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="seconds between dashboard polls")
+    args = parser.parse_args()
+
+    grid = (
+        Sweep("algorithm", ["asgd", "lc-asgd"])
+        * Sweep("num_workers", [2])
+        * Sweep("seed", list(range(args.seeds)))
+    )
+
+    def factory(**kwargs):
+        return TrainingConfig.tiny(epochs=args.epochs, **kwargs)
+
+    # DashboardEvents is an ordinary CampaignEvents observer; wrapping
+    # ConsoleEvents keeps the usual per-run lines alongside the endpoint
+    events = DashboardEvents(inner=ConsoleEvents())
+    server = serve_dashboard(events, port=args.port)
+    print(f"dashboard: {server.url}  (try: repro watch {server.url})\n")
+
+    campaign = Campaign(
+        grid.specs(factory, tags=["example"]),
+        executor=make_executor(1, obs=True),
+        events=events,
+    )
+    runner = threading.Thread(target=campaign.run, name="campaign")
+    runner.start()
+
+    # the watch loop, inlined: poll the real HTTP endpoint, render frames
+    try:
+        while True:
+            state = fetch_state(server.url)
+            print(render_state(state))
+            print()
+            if state["progress"]["finished"]:
+                break
+            time.sleep(args.interval)
+    finally:
+        runner.join()
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,3 +1,3 @@
 """Built-in analysis passes — importing this package registers them."""
 
-from repro.analysis.passes import determinism, locks, registry, wire  # noqa: F401
+from repro.analysis.passes import determinism, locks, registry, trace, wire  # noqa: F401

@@ -1,0 +1,251 @@
+"""trace-registry: every trace event is declared once and emitted correctly.
+
+The observability layer's single source of truth is the ``EVENT_KINDS``
+dict literal in ``obs/events.py`` — it defines the JSONL/wire codec (field
+order) and the vocabulary every ``recorder.emit(...)`` call site may use.
+Two families of checks keep the registry and its call sites honest:
+
+1. **registry well-formedness** — ``EVENT_KINDS`` must be a plain dict
+   literal of ``EventKind(...)`` literals (this pass reads it from the AST
+   without importing the package); each entry's key must match its
+   ``name=``, carry a non-empty ``doc``, and declare its payload as a
+   tuple of unique string field names.
+2. **emit-site conformance** — every ``<recorder>.emit(t, kind, ...)``
+   call in the package must name its kind as a string literal (a computed
+   kind defeats static checking) registered in ``EVENT_KINDS``, and pass
+   exactly the declared fields as keywords.  A misspelled kind or field is
+   a red lint line instead of a mid-run ``ValueError`` inside a worker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.base import AnalysisPass, Finding, SourceFile, SourceTree, register_pass
+
+EVENTS_PATH = "obs/events.py"
+
+#: receivers whose ``.emit`` is the trace API (plan.recorder, self._recorder,
+#: a local ``recorder`` binding); other observers use different verbs
+_RECORDER_NAMES = {"recorder", "_recorder"}
+
+
+def _const_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _registry_entries(
+    source: SourceFile,
+) -> Tuple[Dict[str, Tuple[int, Optional[str], Optional[List[str]]]], Optional[int]]:
+    """``EVENT_KINDS`` as {key: (lineno, doc, fields)} plus the table line.
+
+    ``doc``/``fields`` are None when the entry is not the expected literal
+    shape (reported by the caller); the table line is None when no
+    ``EVENT_KINDS`` dict literal exists at module level.
+    """
+    for node in source.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+        if not (isinstance(target, ast.Name) and target.id == "EVENT_KINDS"):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return {}, node.lineno
+        entries: Dict[str, Tuple[int, Optional[str], Optional[List[str]]]] = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            kind = _const_str(key)
+            if kind is None:
+                continue
+            doc: Optional[str] = None
+            fields: Optional[List[str]] = None
+            if isinstance(value, ast.Call):
+                for kw in value.keywords:
+                    if kw.arg == "doc":
+                        doc = _const_str(kw.value)
+                    elif kw.arg == "fields" and isinstance(kw.value, ast.Tuple):
+                        names = [_const_str(e) for e in kw.value.elts]
+                        if all(n is not None for n in names):
+                            fields = [n for n in names if n is not None]
+            entries[kind] = (key.lineno, doc, fields)
+        return entries, node.lineno
+    return {}, None
+
+
+def _registry_name_mismatches(source: SourceFile) -> List[Tuple[str, int]]:
+    """Entries whose dict key and ``name=`` literal disagree."""
+    out: List[Tuple[str, int]] = []
+    for node in source.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+        if not (isinstance(target, ast.Name) and target.id == "EVENT_KINDS"):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return out
+        for key, value in zip(node.value.keys, node.value.values):
+            kind = _const_str(key)
+            if kind is None or not isinstance(value, ast.Call):
+                continue
+            names = [_const_str(kw.value) for kw in value.keywords if kw.arg == "name"]
+            if not names or names[0] != kind:
+                out.append((kind, key.lineno))
+    return out
+
+
+def _receiver_is_recorder(func: ast.Attribute) -> bool:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id in _RECORDER_NAMES
+    if isinstance(value, ast.Attribute):
+        return value.attr in _RECORDER_NAMES
+    return False
+
+
+def _emit_calls(source: SourceFile) -> List[ast.Call]:
+    calls: List[ast.Call] = []
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and _receiver_is_recorder(node.func)
+        ):
+            calls.append(node)
+    return calls
+
+
+@register_pass
+class TraceRegistryPass(AnalysisPass):
+    name = "trace"
+    description = (
+        "every EVENT_KINDS entry is documented with literal fields, and "
+        "every recorder.emit site uses a registered kind with exactly the "
+        "declared fields"
+    )
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        events = tree.find(EVENTS_PATH)
+        if events is None:
+            return []  # analyzing a tree without the obs layer
+        findings: List[Finding] = []
+        entries, table_line = _registry_entries(events)
+        if table_line is None:
+            return [
+                Finding(self.name, EVENTS_PATH, 1, "no EVENT_KINDS dict literal found")
+            ]
+        findings.extend(self._check_registry(events, entries))
+        # fields=None means the entry itself is malformed (reported above);
+        # its emit sites are still "registered", just field-uncheckable
+        registry = {kind: fields for kind, (_, _, fields) in entries.items()}
+        for source in tree.files:
+            findings.extend(self._check_emit_sites(source, registry))
+        return findings
+
+    # -------------------------------------------------------------- #
+    def _check_registry(self, events: SourceFile, entries) -> List[Finding]:
+        findings: List[Finding] = []
+        for kind, lineno in _registry_name_mismatches(events):
+            findings.append(
+                Finding(
+                    self.name,
+                    EVENTS_PATH,
+                    lineno,
+                    f"EVENT_KINDS entry {kind!r} does not set name={kind!r} "
+                    f"(key and EventKind.name must agree)",
+                )
+            )
+        for kind, (lineno, doc, fields) in sorted(entries.items()):
+            if not doc:
+                findings.append(
+                    Finding(
+                        self.name,
+                        EVENTS_PATH,
+                        lineno,
+                        f"EVENT_KINDS entry {kind!r} has no literal doc string "
+                        f"(every trace event must explain itself)",
+                    )
+                )
+            if fields is None:
+                findings.append(
+                    Finding(
+                        self.name,
+                        EVENTS_PATH,
+                        lineno,
+                        f"EVENT_KINDS entry {kind!r} does not declare fields as a "
+                        f"tuple of string literals (field order IS the wire codec)",
+                    )
+                )
+            elif len(set(fields)) != len(fields):
+                findings.append(
+                    Finding(
+                        self.name,
+                        EVENTS_PATH,
+                        lineno,
+                        f"EVENT_KINDS entry {kind!r} declares duplicate fields "
+                        f"{tuple(fields)}",
+                    )
+                )
+        return findings
+
+    # -------------------------------------------------------------- #
+    def _check_emit_sites(
+        self, source: SourceFile, registry: Dict[str, Optional[List[str]]]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for call in _emit_calls(source):
+            if len(call.args) < 2:
+                continue  # emit(t) alone cannot even run; leave it to tests
+            if len(call.args) > 3:
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        call.lineno,
+                        "recorder.emit takes (t, kind, worker) positionally; "
+                        "event fields must be keywords",
+                    )
+                )
+                continue
+            kind = _const_str(call.args[1])
+            if kind is None:
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        call.lineno,
+                        "recorder.emit with a computed kind defeats the static "
+                        "registry check; use a string literal",
+                    )
+                )
+                continue
+            if kind not in registry:
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        call.lineno,
+                        f"recorder.emit uses unregistered trace event kind {kind!r} "
+                        f"(declare it in obs/events.py EVENT_KINDS)",
+                    )
+                )
+                continue
+            declared = registry[kind]
+            if declared is None:
+                continue  # malformed registry entry, reported once above
+            if any(kw.arg is None for kw in call.keywords):
+                continue  # **splat: field names are dynamic, tests cover these
+            passed = sorted(kw.arg for kw in call.keywords if kw.arg != "worker")
+            if passed != sorted(declared):
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        call.lineno,
+                        f"recorder.emit({kind!r}) passes fields {tuple(passed)} "
+                        f"but the registry declares {tuple(sorted(declared))}",
+                    )
+                )
+        return findings

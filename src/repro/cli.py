@@ -13,11 +13,18 @@ contains no training loops.
   ``--workers`` × ``--seeds``, optionally parallelized across processes
   (``--jobs``) and persisted/resumed through a result store (``--json DIR``).
 * ``report`` — summarize a result store as the paper-style table,
-  optionally filtered (``--filter tag=... --filter algo=...``).
+  optionally filtered (``--filter tag=... --filter algo=...``);
+  ``--plot`` additionally renders the paper-style convergence curves
+  as ASCII charts.
 * ``agent`` — run a fleet agent daemon; ``sweep --agents host:port,...``
   farms grid cells out to a roster of them (see README "Fleet mode").
 * ``store merge`` — fold independently-collected result stores into one,
   content-addressed-key-wise.
+* ``watch`` — follow the live JSON dashboard a ``sweep --serve PORT``
+  campaign publishes (progress, curve tails, agent roster, metrics).
+* ``trace`` — inspect a JSONL run trace written by ``run --trace PATH``:
+  ``show`` prints records, ``summarize`` prints per-phase time
+  attribution and staleness statistics.
 * ``info`` — dump the resolved configuration as nested JSON.
 
 ``--backend`` selects the execution runtime: ``sim`` (deterministic
@@ -231,6 +238,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
     _add_common(run_p)
     run_p.add_argument("--json", metavar="PATH", default=None, help="write the result as JSON")
+    run_p.add_argument(
+        "--obs", action="store_true",
+        help="attach a trace recorder: the result carries per-phase time "
+             "attribution and staleness/wire-byte histograms",
+    )
+    run_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the run's JSONL trace here (implies --obs)",
+    )
 
     cmp_p = sub.add_parser("compare", help="train every algorithm and summarize")
     _add_common(cmp_p)
@@ -272,6 +288,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="declare an agent dead after this long without a frame "
              "(default 10; must exceed the agents' --heartbeat interval)",
     )
+    sweep_p.add_argument(
+        "--obs", action="store_true",
+        help="run every cell with a trace recorder (results carry "
+             "metrics-hub snapshots; fleet agents ship traces back)",
+    )
+    sweep_p.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="publish live campaign state as JSON on this port while the "
+             "sweep runs (0 picks a free port; follow it with `repro "
+             "watch URL`); implies --obs",
+    )
 
     rep_p = sub.add_parser("report", help="summarize a result-store directory")
     rep_p.add_argument("store", help="result-store directory written by sweep --json")
@@ -281,6 +308,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="keep only matching runs; repeatable (ANDed). NAME is 'tag', "
              "'backend', or a config field (algo/algorithm, num_workers, "
              "dataset, model, seed, ...)",
+    )
+    rep_p.add_argument(
+        "--plot", action="store_true",
+        help="also render the paper-style convergence curves (test error "
+             "vs time, one series per algorithm x workers cell) as ASCII",
     )
 
     agent_p = sub.add_parser(
@@ -302,6 +334,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--overwrite", action="store_true",
         help="on key collision prefer the source record (default keeps dest's)",
     )
+
+    watch_p = sub.add_parser(
+        "watch", help="follow the live dashboard of a `sweep --serve` campaign"
+    )
+    watch_p.add_argument("url", help="dashboard URL printed by sweep --serve")
+    watch_p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval (default 2s)",
+    )
+    watch_p.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+
+    trace_p = sub.add_parser("trace", help="inspect a JSONL run trace")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    show_p = trace_sub.add_parser("show", help="print trace records")
+    show_p.add_argument("path", help="JSONL trace written by run --trace")
+    show_p.add_argument(
+        "--kind", default=None, metavar="NAME",
+        help="only records of this event kind (span, staleness, ...)",
+    )
+    show_p.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="stop after N records (default: all)",
+    )
+    tsum_p = trace_sub.add_parser(
+        "summarize", help="per-phase time attribution + staleness statistics"
+    )
+    tsum_p.add_argument("path", help="JSONL trace written by run --trace")
 
     info_p = sub.add_parser("info", help="describe the resolved configuration")
     info_p.add_argument("--algorithm", choices=list(ALGORITHMS), default="lc-asgd")
@@ -341,6 +402,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_store_merge(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.deterministic and args.backend != "thread":
         raise SystemExit(
             "--deterministic is a thread-backend option (sim is always "
@@ -367,9 +432,32 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _make_spec(args, args.algorithm)
-    report = Campaign([spec], events=ConsoleEvents(verbose=args.verbose)).run()
-    result = report.results[0]
+    if args.obs or args.trace:
+        # Observability bypasses the Campaign veneer: run_experiment owns
+        # the recorder so --trace can dump the JSONL after the run.
+        from repro.runtime.backends import run_experiment
+
+        result = run_experiment(
+            spec.config,
+            backend=spec.backend,
+            obs=True,
+            trace_path=args.trace or "",
+            **spec.backend_options,
+        )
+    else:
+        report = Campaign([spec], events=ConsoleEvents(verbose=args.verbose)).run()
+        result = report.results[0]
     _print_summary(result)
+    obs = getattr(result, "obs", None) or {}
+    if obs.get("enabled"):
+        spans = obs.get("spans_ms") or {}
+        attribution = "  ".join(
+            f"{phase} {ms:.0f}ms" for phase, ms in sorted(spans.items())
+        )
+        print(f"obs: {obs.get('records', 0)} trace record(s)"
+              + (f"; {attribution}" if attribution else ""))
+    if args.trace:
+        print(f"trace: {args.trace}")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(_result_payload(result), fh, indent=2)
@@ -435,18 +523,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for point in grid.points()
     ]
     store = ResultStore(args.json) if args.json else None
-    report = Campaign(
-        specs,
-        executor=make_executor(
-            args.jobs, agents=args.agents, agent_timeout=args.agent_timeout
-        ),
-        store=store,
-        events=ConsoleEvents(verbose=args.verbose),
-    ).run()
-    print()
-    print(format_summary(report.summarize()))
-    if store is not None:
-        print(f"\nstore: {store.root} ({len(store)} record(s))")
+    events = ConsoleEvents(verbose=args.verbose)
+    obs = args.obs or args.serve is not None
+    server = None
+    if args.serve is not None:
+        from repro.obs.dashboard import DashboardEvents, serve_dashboard
+
+        events = DashboardEvents(inner=events)
+        server = serve_dashboard(events, port=args.serve)
+        print(f"dashboard: {server.url}  (follow with `repro watch {server.url}`)")
+    try:
+        report = Campaign(
+            specs,
+            executor=make_executor(
+                args.jobs, agents=args.agents, agent_timeout=args.agent_timeout, obs=obs
+            ),
+            store=store,
+            events=events,
+        ).run()
+        print()
+        print(format_summary(report.summarize()))
+        if store is not None:
+            print(f"\nstore: {store.root} ({len(store)} record(s))")
+    finally:
+        if server is not None:
+            server.linger()  # let an active watcher see the finished frame
+            server.close()
     return 0
 
 
@@ -460,11 +562,142 @@ def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     rows = store.summarize(filters=filters)
     print(format_summary(rows))
+    if args.plot:
+        chart = _render_store_plots(store, filters)
+        if chart:
+            print()
+            print(chart)
+        else:
+            print("\n(no learning curves to plot)")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(rows, fh, indent=2)
         print(f"wrote {args.json}")
     return 0
+
+
+def _render_store_plots(store, filters=None) -> str:
+    """The paper's Figures 3-6 as ASCII: error-vs-time convergence curves.
+
+    One series per (algorithm, workers, backend) cell; seed replicates
+    collapse to the first seed seen (the summary table already carries the
+    seed-averaged numbers).
+    """
+    from repro.bench.plots import ascii_plot
+    from repro.experiments.store import record_matches
+
+    test_series = {}
+    train_series = {}
+    for record in store.records():
+        if filters and not record_matches(record, filters):
+            continue
+        result = record.result
+        if not result.curve:
+            continue
+        label = f"{result.algorithm} M={result.num_workers} {result.backend}"
+        if label in test_series:  # another seed of the same cell
+            continue
+        times = [p.time for p in result.curve]
+        test_series[label] = (times, [p.test_error for p in result.curve])
+        train_series[label] = (times, [p.train_error for p in result.curve])
+    if not test_series:
+        return ""
+    charts = [
+        ascii_plot(
+            test_series,
+            title="test error vs training time (paper Figs. 3-6)",
+            xlabel="time (s)", ylabel="test err",
+        ),
+        ascii_plot(
+            train_series,
+            title="train error vs training time",
+            xlabel="time (s)", ylabel="train err",
+        ),
+    ]
+    return "\n\n".join(charts)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import watch
+
+    return watch(args.url, interval=args.interval, once=args.once)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import load_trace
+
+    if not Path(args.path).is_file():
+        raise SystemExit(f"no trace file at {args.path!r}")
+    try:
+        meta, records = load_trace(args.path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"unreadable trace {args.path!r}: {exc}")
+    if args.trace_command == "show":
+        shown = 0
+        for record in records:
+            if args.kind and record.kind != args.kind:
+                continue
+            fields = "  ".join(f"{k}={v}" for k, v in record.fields.items())
+            print(f"t={record.t:12.6f}  w={record.worker:3d}  {record.kind:12s} {fields}")
+            shown += 1
+            if args.limit and shown >= args.limit:
+                break
+        print(f"({shown} of {len(records)} record(s) shown)", file=sys.stderr)
+        return 0
+    return _trace_summarize(meta, records)
+
+
+def _trace_summarize(meta: dict, records) -> int:
+    """``repro trace summarize``: reconstruct attribution from the JSONL."""
+    from repro.obs.hub import staleness_histogram
+
+    print(f"trace: run_id={meta.get('run_id', '?')!r}  "
+          f"version={meta.get('version', '?')}  "
+          f"records={len(records)}  dropped={meta.get('dropped', 0)}")
+    kinds: dict = {}
+    for record in records:
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    print("events: " + "  ".join(f"{k}={n}" for k, n in sorted(kinds.items())))
+
+    totals: dict = {}
+    for record in records:
+        if record.kind == "span":
+            phase = str(record.fields["phase"])
+            totals[phase] = totals.get(phase, 0.0) + float(record.fields["dur_ms"])
+    for name, entry in (meta.get("timer") or {}).items():
+        totals[name] = totals.get(name, 0.0) + float(entry.get("total_s", 0.0)) * 1e3
+    if totals:
+        print("phase attribution (ms):")
+        width = max(len(name) for name in totals)
+        grand = sum(totals.values()) or 1.0
+        for name, ms in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:{width}s}  {ms:10.1f}  ({ms / grand:6.1%})")
+
+    staleness = [
+        float(r.fields["value"]) for r in records if r.kind == "staleness"
+    ]
+    if staleness:
+        hist = staleness_histogram(staleness)
+        print(f"staleness: n={len(staleness)}  "
+              f"mean={sum(staleness) / len(staleness):.3f}  "
+              f"max={max(staleness):.0f}")
+        payload = hist.to_dict()
+        edges, counts = payload["edges"], payload["counts"]
+        labels = _histogram_labels(edges)
+        peak = max(counts) or 1
+        for label, count in zip(labels, counts):
+            bar = "#" * max(1 if count else 0, round(24 * count / peak))
+            print(f"  {label:>12s} {count:6d} {bar}")
+    return 0
+
+
+def _histogram_labels(edges) -> List[str]:
+    """Bin labels for a Histogram's counts: [<e0, e0-e1, ..., >=eN]."""
+    labels = [f"<{edges[0]:g}"]
+    for lo, hi in zip(edges, edges[1:]):
+        labels.append(f"{lo:g}-{hi:g}")
+    labels.append(f">={edges[-1]:g}")
+    return labels
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

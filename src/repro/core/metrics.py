@@ -86,6 +86,10 @@ class RunResult:
     # {"messages": ..., "logical_bytes": ..., "wire_bytes": ...,
     #  "server_bytes": ..., "max_worker_bytes": ..., "total_bytes": ...}
     comm: Dict[str, float] = field(default_factory=dict)
+    # observability block ({} when the run traced nothing): record/drop
+    # counts, per-phase "spans_ms" attribution, and a "hub" MetricsHub
+    # snapshot carrying the staleness / wire-byte histograms
+    obs: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property
@@ -163,6 +167,7 @@ class RunResult:
             "topology": self.topology,
             "codec": self.codec,
             "comm": dict(self.comm),
+            "obs": dict(self.obs),
         }
 
     @classmethod
@@ -187,6 +192,8 @@ class RunResult:
             topology=payload.get("topology", ""),
             codec=payload.get("codec", ""),
             comm={k: float(v) for k, v in payload.get("comm", {}).items()},
+            # absent in results stored before the observability layer existed
+            obs=dict(payload.get("obs", {})),
         )
 
 

@@ -214,6 +214,16 @@ class DistributedTrainer:
             staleness=staleness,
             value=payload.loss,
         )
+        # same site, same value as the ClusterTrace update event (and as the
+        # concurrent server actor's emission), so the trace's staleness
+        # histogram matches RunResult.staleness; t is *virtual* seconds,
+        # which is what makes sim traces bit-reproducible
+        recorder = self.plan.recorder
+        if recorder.enabled and staleness >= 0:
+            recorder.emit(
+                self.sim.now, "staleness", m,
+                value=float(int(staleness)), version=self.server.version,
+            )
         if advanced:
             for worker_id, t0 in self.server.drain_pending_pulls():
                 self._send_weights(worker_id, t0, self.server.params.copy())

@@ -8,9 +8,10 @@ no-ops so observers override only what they need.
 
 ``on_curve_point`` fires as each evaluation snapshot is recorded, via the
 :attr:`~repro.runtime.session.ExperimentPlan.on_curve_point` plan hook.
-It only fires for runs executed in-process (the serial executor): results
-computed in a worker process arrive whole, so pool campaigns see
-``on_run_start``/``on_run_end`` but no per-point stream.
+Serial-executor runs fire it synchronously; pool runs stream each point
+back over a queue the parent drains in its poll loop, so every local
+executor delivers the live per-point stream (fleet runs relay points over
+the agent protocol's ``curve_point`` frames).
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ class CampaignEvents:
         """Called as ``spec`` is handed to the executor (0-based ``index``)."""
 
     def on_curve_point(self, spec: ExperimentSpec, point: CurvePoint) -> None:
-        """Called per evaluation snapshot (serial executor only)."""
+        """Called per evaluation snapshot (may lag the run under a pool)."""
 
     def on_run_end(
         self, spec: ExperimentSpec, result: RunResult, cached: bool, index: int, total: int

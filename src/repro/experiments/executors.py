@@ -6,8 +6,8 @@ Strategies behind one protocol (plus the multi-host
 generator contract):
 
 * :class:`SerialExecutor` — in-process, one spec at a time.  Fully
-  deterministic ordering, and the only executor that can stream
-  ``on_curve_point`` events (the run shares the observer's process).
+  deterministic ordering; ``on_curve_point`` events fire synchronously
+  (the run shares the observer's process).
 * :class:`MultiprocessExecutor` — a ``multiprocessing`` pool.  The sim
   backend is single-threaded pure NumPy, so a compare-style grid
   parallelizes embarrassingly across processes: a genuine wall-clock
@@ -41,25 +41,63 @@ from repro.runtime.session import ExperimentPlan
 Job = Tuple[int, ExperimentSpec]
 
 
-def execute_spec(spec: ExperimentSpec, on_curve_point=None) -> RunResult:
+def execute_spec(
+    spec: ExperimentSpec, on_curve_point=None, obs: bool = False, recorder=None
+) -> RunResult:
     """Run one spec to completion: plan -> backend -> RunResult.
 
     Module-level so multiprocessing can pickle it by reference.
     ``on_curve_point`` (in-process callers only) receives each CurvePoint
-    as it is recorded.
+    as it is recorded.  ``obs=True`` attaches a live trace recorder, so
+    ``RunResult.obs`` carries the run's metrics-hub snapshot — execution
+    wiring only, never part of the spec (store keys stay obs-agnostic).
+    Callers that need the raw trace afterwards (the fleet agent ships it
+    over its ``trace`` frame) pass their own ``recorder`` instead.
     """
     backend = get_backend(spec.backend, **spec.backend_options)
     plan = ExperimentPlan.from_config(
         spec.config, build_workers=getattr(backend, "needs_worker_replicas", True)
     )
+    if recorder is not None:
+        plan.recorder = recorder
+    elif obs:
+        from repro.obs.recorder import TraceRecorder
+
+        plan.recorder = TraceRecorder(run_id=spec.label())
     plan.on_curve_point = on_curve_point
     return backend.run(plan)
 
 
+#: pool-worker state installed by :func:`_pool_init` (fork or spawn): the
+#: parent's curve-point queue and the campaign's obs flag.  Module globals
+#: because pool workers can only receive mp.Queues by inheritance at
+#: Pool() creation, not per-task.
+_POOL_CURVE_QUEUE = None
+_POOL_OBS = False
+
+
+def _pool_init(queue, obs: bool) -> None:
+    """Pool initializer: arm curve-point streaming in this worker."""
+    global _POOL_CURVE_QUEUE, _POOL_OBS
+    _POOL_CURVE_QUEUE = queue
+    _POOL_OBS = bool(obs)
+
+
 def _execute_job(job: Job) -> Tuple[int, RunResult]:
-    """Pool worker wrapper keeping the campaign-global index attached."""
+    """Pool worker wrapper keeping the campaign-global index attached.
+
+    When the pool was armed with a curve queue, every CurvePoint is shipped
+    to the parent as ``(index, point)`` the moment it is recorded — the
+    parent's poll loop replays them into ``events.on_curve_point``, closing
+    the old "pool runs are silent until they finish" gap.
+    """
     index, spec = job
-    return index, execute_spec(spec)
+    on_curve_point = None
+    queue = _POOL_CURVE_QUEUE
+    if queue is not None:
+        def on_curve_point(point, index=index, queue=queue):
+            queue.put((index, point))
+    return index, execute_spec(spec, on_curve_point=on_curve_point, obs=_POOL_OBS)
 
 
 class Executor:
@@ -78,13 +116,18 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
+    def __init__(self, obs: bool = False) -> None:
+        self.obs = bool(obs)
+
     def run(
         self, jobs: Sequence[Job], total: int, events: CampaignEvents
     ) -> Iterator[Tuple[int, ExperimentSpec, RunResult]]:
         for index, spec in jobs:
             events.on_run_start(spec, index, total)
             result = execute_spec(
-                spec, on_curve_point=lambda point, spec=spec: events.on_curve_point(spec, point)
+                spec,
+                on_curve_point=lambda point, spec=spec: events.on_curve_point(spec, point),
+                obs=self.obs,
             )
             yield index, spec, result
 
@@ -101,9 +144,10 @@ class MultiprocessExecutor(Executor):
 
     name = "pool"
 
-    def __init__(self, processes: int = 0, start_method: str = "") -> None:
+    def __init__(self, processes: int = 0, start_method: str = "", obs: bool = False) -> None:
         self.processes = processes
         self.start_method = start_method
+        self.obs = bool(obs)
 
     def _context(self):
         method = self.start_method
@@ -131,12 +175,18 @@ class MultiprocessExecutor(Executor):
         procs = self.processes or (mp.cpu_count() or 1)
         procs = max(1, min(procs, len(jobs)))
         ctx = self._context()
+        specs_by_index = {index: spec for index, spec in jobs}
+        curve_queue = ctx.Queue()
         # Jobs are submitted one per free pool slot and on_run_start fires
         # at submission, so a start line means the run is actually beginning
         # — not "every cell started at t=0" as the old bulk submit claimed.
         # Completed runs are yielded (and persisted by the Campaign) the
-        # moment they land, never behind a slower earlier job.
-        with ctx.Pool(processes=procs) as pool:
+        # moment they land, never behind a slower earlier job.  Workers
+        # stream CurvePoints back over curve_queue (inherited at Pool
+        # creation); the poll loop replays them into the observer live.
+        with ctx.Pool(
+            processes=procs, initializer=_pool_init, initargs=(curve_queue, self.obs)
+        ) as pool:
             pending = deque(jobs)
             inflight: Dict[int, Tuple[ExperimentSpec, "mp.pool.AsyncResult"]] = {}
             while pending or inflight:
@@ -147,6 +197,7 @@ class MultiprocessExecutor(Executor):
                         spec,
                         pool.apply_async(_execute_job, ((index, spec),)),
                     )
+                self._drain_curve_points(curve_queue, specs_by_index, events)
                 done = [i for i, (_, handle) in inflight.items() if handle.ready()]
                 if not done:
                     time.sleep(0.01)
@@ -155,9 +206,24 @@ class MultiprocessExecutor(Executor):
                     spec, handle = inflight.pop(i)
                     index, result = handle.get()  # re-raises a job's failure
                     yield index, spec, result
+            self._drain_curve_points(curve_queue, specs_by_index, events)
+
+    @staticmethod
+    def _drain_curve_points(queue, specs_by_index, events: CampaignEvents) -> None:
+        """Replay every queued (index, CurvePoint) into the observer."""
+        while True:
+            try:
+                index, point = queue.get_nowait()
+            except Exception:  # queue.Empty — nothing buffered right now
+                return
+            spec = specs_by_index.get(index)
+            if spec is not None:
+                events.on_curve_point(spec, point)
 
 
-def make_executor(jobs: int = 1, agents: str = "", agent_timeout: float = 0.0) -> Executor:
+def make_executor(
+    jobs: int = 1, agents: str = "", agent_timeout: float = 0.0, obs: bool = False
+) -> Executor:
     """The CLI's executor rule: ``--agents`` -> fleet, ``--jobs N`` -> pool.
 
     ``agents`` is a ``"host:port,host:port"`` roster; when given it wins
@@ -172,7 +238,7 @@ def make_executor(jobs: int = 1, agents: str = "", agent_timeout: float = 0.0) -
         from repro.fleet.scheduler import FleetExecutor
 
         options = {"heartbeat_timeout": agent_timeout} if agent_timeout else {}
-        return FleetExecutor(agents=[agents], **options)
+        return FleetExecutor(agents=[agents], obs=obs, **options)
     if jobs <= 1:
-        return SerialExecutor()
-    return MultiprocessExecutor(processes=jobs)
+        return SerialExecutor(obs=obs)
+    return MultiprocessExecutor(processes=jobs, obs=obs)

@@ -246,7 +246,10 @@ class FleetAgent:
                     raise protocol.FleetProtocolError(
                         f"agent received a {kind} frame mid-session"
                     )
-                pool.submit(self._run_job, conn, send_lock, doc["id"], doc["spec"])
+                pool.submit(
+                    self._run_job, conn, send_lock, doc["id"], doc["spec"],
+                    bool(doc.get("obs", False)),
+                )
         finally:
             hb_stop.set()
             # drop queued cells, but wait out the in-flight ones (their
@@ -265,18 +268,31 @@ class FleetAgent:
             if not self._send(conn, send_lock, protocol.heartbeat_frame(n)):
                 return
 
-    def _run_job(self, conn, send_lock, job_id: str, spec_doc: dict) -> None:
-        """Execute one cell and stream its progress/result/error back."""
-        from repro.experiments.executors import execute_spec
+    def _run_job(
+        self, conn, send_lock, job_id: str, spec_doc: dict, obs: bool = False
+    ) -> None:
+        """Execute one cell and stream its progress/result/error back.
 
+        ``obs`` jobs run with a live trace recorder whose rows are shipped
+        in one ``trace`` frame *before* the result — the scheduler still
+        holds the job in its inflight map at that point, so the rows are
+        attributable to the cell.
+        """
+        from repro.experiments.executors import execute_spec
+        from repro.obs.recorder import TraceRecorder
+
+        recorder = None
         try:
             spec = protocol.decode_spec({"spec": spec_doc})
             logger.info("agent %s: job %s = %s", self.name, job_id, spec.label())
+            if obs:
+                recorder = TraceRecorder(run_id=f"{self.name}:{spec.label()}")
             result = execute_spec(
                 spec,
                 on_curve_point=lambda point: self._send(
                     conn, send_lock, protocol.curve_point_frame(job_id, point)
                 ),
+                recorder=recorder,
             )
         except BaseException as exc:
             # the cell failed, not the agent: report and keep serving
@@ -286,6 +302,8 @@ class FleetAgent:
                 protocol.job_error_frame(job_id, repr(exc), traceback.format_exc()),
             )
             return
+        if recorder is not None:
+            self._send(conn, send_lock, protocol.trace_frame(job_id, recorder.rows()))
         self._send(conn, send_lock, protocol.result_frame(job_id, result))
 
     def _send(self, conn: FrameConnection, send_lock: threading.Lock, doc: dict) -> bool:

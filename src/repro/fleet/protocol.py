@@ -11,12 +11,20 @@ speaking a different job schema).  The frame types (kind {body})::
 
     scheduler -> agent   hello {}                    open the session
     agent -> scheduler   welcome {slots, agent}      capacity announcement
-    scheduler -> agent   job {id, spec}              one ExperimentSpec cell
+    scheduler -> agent   job {id, spec, obs?}        one ExperimentSpec cell
     agent -> scheduler   curve_point {id, point}     streamed evaluation
+    agent -> scheduler   trace {id, rows}            the cell's trace rows
     agent -> scheduler   result {id, result}         the finished RunResult
     agent -> scheduler   job_error {id, error, tb}   the cell itself raised
     agent -> scheduler   heartbeat {n}               liveness pulse
     agent -> scheduler   busy {agent}                already serving a peer
+
+``obs`` on a job frame asks the agent to run the cell with a live trace
+recorder; the agent then ships the finished trace's encoded rows (the
+:func:`repro.obs.events.encode_record` wire format, re-validated against
+the event registry on ingestion) in one ``trace`` frame before the
+``result``.  Older agents ignore the extra key, so obs campaigns degrade
+gracefully on a mixed fleet.
 
 Specs travel as their :meth:`~repro.experiments.spec.ExperimentSpec.
 to_dict` document and are rebuilt with :meth:`ExperimentSpec.from_dict`,
@@ -85,12 +93,20 @@ def busy_frame(agent: str) -> Dict[str, Any]:
     return _frame("busy", {"agent": agent})
 
 
-def job_frame(job_id: str, spec: ExperimentSpec) -> Dict[str, Any]:
-    return _frame("job", {"id": str(job_id), "spec": to_jsonable(spec.to_dict())})
+def job_frame(job_id: str, spec: ExperimentSpec, obs: bool = False) -> Dict[str, Any]:
+    return _frame(
+        "job",
+        {"id": str(job_id), "spec": to_jsonable(spec.to_dict()), "obs": bool(obs)},
+    )
 
 
 def curve_point_frame(job_id: str, point) -> Dict[str, Any]:
     return _frame("curve_point", {"id": str(job_id), "point": to_jsonable(point.to_dict())})
+
+
+def trace_frame(job_id: str, rows) -> Dict[str, Any]:
+    """The cell's finished trace: encoded event rows, one frame per job."""
+    return _frame("trace", {"id": str(job_id), "rows": [list(row) for row in rows]})
 
 
 def result_frame(job_id: str, result: RunResult) -> Dict[str, Any]:
@@ -112,6 +128,7 @@ _FRAME_KINDS: Dict[str, Tuple[str, ...]] = {
     "busy": (),
     "job": ("id", "spec"),
     "curve_point": ("id", "point"),
+    "trace": ("id", "rows"),
     "result": ("id", "result"),
     "job_error": ("id", "error"),
     "heartbeat": (),

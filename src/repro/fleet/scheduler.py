@@ -47,6 +47,7 @@ from repro.experiments.executors import Executor, Job
 from repro.experiments.spec import ExperimentSpec
 from repro.analysis.lockorder import make_lock
 from repro.fleet import protocol
+from repro.obs.recorder import make_recorder
 from repro.runtime.wire import ConnectionClosed, FrameConnection, WireError
 from repro.utils.logging import get_logger
 
@@ -139,11 +140,11 @@ class AgentLink:
     def free_slots(self) -> int:
         return self.slots - len(self.inflight) if self.alive else 0
 
-    def send_job(self, job_id: str, spec: ExperimentSpec) -> bool:
+    def send_job(self, job_id: str, spec: ExperimentSpec, obs: bool = False) -> bool:
         """Dispatch one cell; False means the link just died."""
         try:
             with self._send_lock:
-                self.conn.send_control(protocol.job_frame(job_id, spec))
+                self.conn.send_control(protocol.job_frame(job_id, spec, obs=obs))
             return True
         except (OSError, WireError):
             return False
@@ -169,6 +170,12 @@ class FleetExecutor(Executor):
         with margin.
     connect_timeout:
         Cap on the per-agent TCP connect + hello/welcome handshake.
+    obs:
+        Run every cell with a live trace recorder.  Agents ship each
+        cell's trace rows back (``trace`` frames) into this executor's
+        campaign-level :attr:`recorder`, which also collects the
+        scheduler's own ``heartbeat``/``requeue`` events — one trace for
+        the whole campaign's control plane.
     """
 
     name = "fleet"
@@ -178,6 +185,7 @@ class FleetExecutor(Executor):
         agents: Sequence[Address],
         heartbeat_timeout: float = 10.0,
         connect_timeout: float = 10.0,
+        obs: bool = False,
     ) -> None:
         if not agents:
             raise ValueError("FleetExecutor needs at least one agent address")
@@ -192,6 +200,9 @@ class FleetExecutor(Executor):
                 self.addresses.append((host, int(port)))
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.connect_timeout = float(connect_timeout)
+        #: campaign-level trace: agent cell traces + scheduler events
+        self.recorder = make_recorder(obs, run_id="fleet-campaign")
+        self._t0 = 0.0  # scheduler clock epoch, set when run() starts
 
     # ------------------------------------------------------------------ #
     def run(
@@ -199,6 +210,7 @@ class FleetExecutor(Executor):
     ) -> Iterator[Tuple[int, ExperimentSpec, RunResult]]:
         if not jobs:
             return
+        self._t0 = time.monotonic()
         inbox: "queue.Queue[Tuple[AgentLink, Optional[dict]]]" = queue.Queue()
         links = self._connect(inbox, events)
         try:
@@ -221,10 +233,11 @@ class FleetExecutor(Executor):
             raise FleetError(
                 "no fleet agents reachable: " + "; ".join(failures)
             )
+        # the "fleet: agents " prefix is load-bearing: DashboardEvents
+        # mirrors this roster into its state document for watchers
         events.on_note(
-            "fleet: "
+            "fleet: agents "
             + ", ".join(f"{l.name} x{l.slots}" for l in links)
-            + f" ({sum(l.slots for l in links)} slot(s))"
         )
         return links
 
@@ -242,6 +255,11 @@ class FleetExecutor(Executor):
         started: set = set()  # indices whose on_run_start already fired
         done: set = set()  # indices already yielded (never re-yield)
 
+        recorder = self.recorder
+
+        def now() -> float:
+            return time.monotonic() - self._t0
+
         def live_links() -> List[AgentLink]:
             return [l for l in links if l.alive]
 
@@ -256,6 +274,8 @@ class FleetExecutor(Executor):
                     # a host death says nothing about the cell: same attempts
                     pending.appendleft((index, spec, attempts))
                     requeued += 1
+                    if recorder.enabled:
+                        recorder.emit(now(), "requeue", job=int(index), peer=link.name)
             link.inflight.clear()
             note = f"fleet: agent {link.name} died ({why})"
             if requeued:
@@ -270,7 +290,7 @@ class FleetExecutor(Executor):
                     if index in done:
                         continue
                     job_id = str(index)
-                    if not link.send_job(job_id, spec):
+                    if not link.send_job(job_id, spec, obs=recorder.enabled):
                         pending.appendleft((index, spec, attempts))
                         mark_dead(link, "send failed")
                         break
@@ -304,6 +324,19 @@ class FleetExecutor(Executor):
                 mark_dead(link, f"protocol violation: {exc}")
                 continue
             if kind == "heartbeat":
+                if recorder.enabled:
+                    recorder.emit(
+                        now(), "heartbeat", peer=link.name, n=int(doc.get("n", 0))
+                    )
+                continue
+            if kind == "trace":
+                # an obs cell's finished trace: merge it (rows re-validated
+                # against the event registry) into the campaign recorder
+                if recorder.enabled and link.inflight.get(doc["id"]) is not None:
+                    try:
+                        recorder.ingest_rows(doc["rows"])
+                    except (ValueError, TypeError) as exc:
+                        mark_dead(link, f"undecodable trace rows: {exc!r}")
                 continue
             if kind == "curve_point":
                 entry = link.inflight.get(doc["id"])

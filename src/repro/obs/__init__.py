@@ -1,0 +1,62 @@
+"""repro.obs — structured tracing, the metrics hub, the live dashboard.
+
+The observability layer of the runtime (see README "Observability"):
+
+* :mod:`~repro.obs.events` — the :data:`~repro.obs.events.EVENT_KINDS`
+  registry: every trace event kind, its docstring, and its wire codec
+  (field order), statically enforced by the ``trace`` analysis pass.
+* :mod:`~repro.obs.recorder` — :class:`TraceRecorder` (``obs on``) and the
+  no-op :data:`NULL_RECORDER` (``obs off``), JSONL dump/load; recorders
+  never read a clock, so virtual-time traces are bit-reproducible.
+* :mod:`~repro.obs.hub` — :class:`MetricsHub`: thread-safe counters/
+  gauges/fixed-bin mergeable histograms aggregating events per run and
+  per campaign.
+* :mod:`~repro.obs.dashboard` — :class:`DashboardEvents` + a stdlib
+  ``http.server`` JSON endpoint (``repro sweep --serve``) and the
+  ``repro watch`` terminal renderer.  Import it explicitly
+  (``from repro.obs.dashboard import ...``): it builds on the campaign
+  layer, which itself builds on the runtime — re-exporting it here would
+  close an import cycle through ``ExperimentPlan``'s recorder default.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    TRACE_VERSION,
+    EventKind,
+    TraceRecord,
+    decode_record,
+    encode_record,
+)
+from repro.obs.hub import (
+    STALENESS_EDGES,
+    WIRE_BYTES_EDGES,
+    Histogram,
+    MetricsHub,
+    staleness_histogram,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    load_trace,
+    make_recorder,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "TRACE_VERSION",
+    "EventKind",
+    "TraceRecord",
+    "encode_record",
+    "decode_record",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "make_recorder",
+    "load_trace",
+    "Histogram",
+    "MetricsHub",
+    "STALENESS_EDGES",
+    "WIRE_BYTES_EDGES",
+    "staleness_histogram",
+]

@@ -1,0 +1,326 @@
+"""The live campaign dashboard: a CampaignEvents observer + JSON endpoint.
+
+:class:`DashboardEvents` watches a campaign exactly like the CLI's console
+observer — it implements the same :class:`~repro.experiments.events.
+CampaignEvents` protocol, so it composes with any executor (serial, pool,
+fleet) — and keeps a JSON-ready state document: campaign progress, per-run
+status with curve tails, fleet notes/agent roster, and a campaign-wide
+:class:`~repro.obs.hub.MetricsHub` merged from each finished run's ``obs``
+block.
+
+:func:`serve_dashboard` exposes that document over a stdlib
+``http.server`` endpoint (``repro sweep --serve PORT``); ``repro watch
+URL`` polls it and renders :func:`render_state` in the terminal.  The
+server binds localhost by default and serves read-only GETs — it is a
+progress window, not an API.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.request import urlopen
+
+from repro.analysis.lockorder import make_lock
+from repro.core.metrics import CurvePoint, RunResult
+from repro.experiments.events import CampaignEvents
+from repro.experiments.spec import ExperimentSpec
+from repro.obs.hub import MetricsHub
+
+#: curve points retained per run in the dashboard state (the "tail")
+CURVE_TAIL = 12
+
+#: notes retained (agent roster, deaths, requeues)
+MAX_NOTES = 50
+
+
+class DashboardEvents(CampaignEvents):
+    """Campaign observer accumulating a JSON-ready live state document.
+
+    Wraps an optional ``inner`` observer (the CLI's ConsoleEvents) so one
+    campaign can print progress *and* serve it.  All callbacks may fire
+    from executor threads; state mutations are lock-protected and the
+    state document is rebuilt from plain data on every :meth:`state`.
+    """
+
+    def __init__(self, inner: Optional[CampaignEvents] = None) -> None:
+        self.inner = inner
+        self._lock = make_lock("DashboardEvents._lock")
+        self._total = 0  # guarded-by: _lock
+        self._cached = 0  # guarded-by: _lock
+        self._done = 0  # guarded-by: _lock
+        self._finished = False  # guarded-by: _lock
+        self._runs: Dict[int, Dict[str, Any]] = {}  # guarded-by: _lock
+        self._notes: List[str] = []  # guarded-by: _lock
+        self._agents: List[str] = []  # guarded-by: _lock
+        self.hub = MetricsHub()
+
+    # ------------------------------------------------------------------ #
+    def on_campaign_start(self, total: int, cached: int) -> None:
+        with self._lock:
+            self._total = total
+            self._cached = cached
+        if self.inner:
+            self.inner.on_campaign_start(total, cached)
+
+    def on_run_start(self, spec: ExperimentSpec, index: int, total: int) -> None:
+        with self._lock:
+            self._runs[index] = {
+                "index": index,
+                "label": spec.label(),
+                "status": "running",
+                "curve": [],
+            }
+        if self.inner:
+            self.inner.on_run_start(spec, index, total)
+
+    def on_curve_point(self, spec: ExperimentSpec, point: CurvePoint) -> None:
+        label = spec.label()
+        with self._lock:
+            for run in self._runs.values():
+                if run["label"] == label and run["status"] == "running":
+                    run["curve"].append(point.to_dict())
+                    del run["curve"][:-CURVE_TAIL]
+                    break
+        if self.inner:
+            self.inner.on_curve_point(spec, point)
+
+    def on_run_end(
+        self, spec: ExperimentSpec, result: RunResult, cached: bool, index: int, total: int
+    ) -> None:
+        summary = {
+            "index": index,
+            "label": spec.label(),
+            "status": "cached" if cached else "done",
+            "test_error": result.final_test_error if result.curve else None,
+            "updates": result.total_updates,
+            "wall_time": result.wall_time,
+            "curve": [p.to_dict() for p in result.curve[-CURVE_TAIL:]],
+        }
+        with self._lock:
+            self._runs[index] = summary
+            self._done += 1
+        if result.obs.get("hub"):
+            self.hub.merge_snapshot(result.obs["hub"])
+        if self.inner:
+            self.inner.on_run_end(spec, result, cached, index, total)
+
+    def on_note(self, message: str) -> None:
+        with self._lock:
+            self._notes.append(message)
+            del self._notes[:-MAX_NOTES]
+            # the fleet scheduler announces its roster through notes;
+            # mirror it into a dedicated field so watchers need not parse
+            if message.startswith("fleet: agents "):
+                self._agents = [a for a in message[len("fleet: agents "):].split(", ") if a]
+        if self.inner:
+            self.inner.on_note(message)
+
+    def on_campaign_end(self, result) -> None:
+        with self._lock:
+            self._finished = True
+        if self.inner:
+            self.inner.on_campaign_end(result)
+
+    @property
+    def finished(self) -> bool:
+        with self._lock:
+            return self._finished
+
+    # ------------------------------------------------------------------ #
+    def state(self) -> Dict[str, Any]:
+        """The JSON document the endpoint serves."""
+        with self._lock:
+            runs = [dict(run) for _, run in sorted(self._runs.items())]
+            doc = {
+                "progress": {
+                    "total": self._total,
+                    "cached": self._cached,
+                    "done": self._done,
+                    "running": sum(1 for r in runs if r["status"] == "running"),
+                    "finished": self._finished,
+                },
+                "runs": runs,
+                "notes": list(self._notes),
+                "agents": list(self._agents),
+            }
+        doc["hub"] = self.hub.snapshot()
+        return doc
+
+    def state_json(self) -> bytes:
+        return json.dumps(self.state(), sort_keys=True).encode()
+
+
+class DashboardServer:
+    """A background ``ThreadingHTTPServer`` serving one observer's state."""
+
+    def __init__(self, events: DashboardEvents, host: str = "127.0.0.1", port: int = 0) -> None:
+        observer = events
+        polled = threading.Event()
+        final_served = threading.Event()
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                body = observer.state_json()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                polled.set()
+                if observer.finished:
+                    final_served.set()
+
+            def log_message(self, fmt: str, *args) -> None:
+                pass  # polling must not spam the campaign's console
+
+        self.events = events
+        self._polled = polled
+        self._final_served = final_served
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-dashboard",
+            daemon=True,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/"
+
+    def start(self) -> "DashboardServer":
+        self._thread.start()
+        return self
+
+    def linger(self, timeout: float = 5.0) -> bool:
+        """Give active pollers a chance to observe the finished state.
+
+        A watcher polls on an interval; closing the endpoint the instant
+        the campaign ends would make its final fetch a connection error
+        instead of the ``finished: true`` frame it exits 0 on.  Waits (up
+        to ``timeout``) until one post-finish GET has been served — and
+        only if anyone polled at all, so an unwatched sweep never stalls.
+        """
+        if not self._polled.is_set():
+            return False
+        return self._final_served.wait(timeout)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def serve_dashboard(
+    events: DashboardEvents, host: str = "127.0.0.1", port: int = 0
+) -> DashboardServer:
+    """Start serving ``events`` on ``host:port`` (port 0 picks a free one)."""
+    return DashboardServer(events, host=host, port=port).start()
+
+
+# ---------------------------------------------------------------------- #
+# the `repro watch` side: fetch + terminal rendering
+# ---------------------------------------------------------------------- #
+def fetch_state(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET one state document from a dashboard endpoint."""
+    if "://" not in url:
+        url = f"http://{url}"
+    with urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _bar(count: int, peak: int, width: int = 24) -> str:
+    filled = int(round(width * count / peak)) if peak else 0
+    return "#" * filled + "." * (width - filled)
+
+
+def render_state(state: Dict[str, Any]) -> str:
+    """One terminal frame of a dashboard state document."""
+    progress = state.get("progress", {})
+    lines = [
+        "campaign: {done}/{total} done ({cached} cached, {running} running{flag})".format(
+            done=progress.get("done", 0),
+            total=progress.get("total", 0),
+            cached=progress.get("cached", 0),
+            running=progress.get("running", 0),
+            flag=", finished" if progress.get("finished") else "",
+        )
+    ]
+    for run in state.get("runs", []):
+        status = run.get("status", "?")
+        tail = run.get("curve") or []
+        if tail:
+            last = tail[-1]
+            detail = (
+                f"epoch {last['epoch']:>3} t={last['time']:8.1f}s "
+                f"test_err={last['test_error']:.4f}"
+            )
+        elif run.get("test_error") is not None:
+            detail = f"test_err={run['test_error']:.4f}"
+        else:
+            detail = ""
+        lines.append(f"  [{run.get('index', 0) + 1:>3}] {status:<8} {run.get('label', '')}  {detail}")
+    agents = state.get("agents") or []
+    if agents:
+        lines.append("agents: " + ", ".join(agents))
+    notes = state.get("notes") or []
+    for note in notes[-5:]:
+        lines.append(f"note: {note}")
+    hists = state.get("hub", {}).get("histograms", {})
+    for name in ("staleness", "wire_bytes"):
+        payload = hists.get(name)
+        if not payload or not payload.get("count"):
+            continue
+        lines.append(
+            f"{name}: n={payload['count']} mean={payload['mean']:.2f} "
+            f"min={payload['min']:.0f} max={payload['max']:.0f}"
+        )
+        edges = payload["edges"]
+        counts = payload["counts"]
+        peak = max(counts)
+        shown = 0
+        for i, count in enumerate(counts):
+            if not count:
+                continue
+            if i == 0:
+                label = f"< {edges[0]:g}"
+            elif i == len(edges):
+                label = f">= {edges[-1]:g}"
+            else:
+                label = f"[{edges[i - 1]:g}, {edges[i]:g})"
+            lines.append(f"  {label:>16} {_bar(count, peak)} {count}")
+            shown += 1
+            if shown >= 12:
+                lines.append("  ... (more bins)")
+                break
+    return "\n".join(lines)
+
+
+def watch(url: str, interval: float = 2.0, once: bool = False, stream=None) -> int:
+    """Poll ``url`` and render frames until the campaign finishes.
+
+    Returns 0 on a clean finish, 1 when the endpoint goes away first.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    while True:
+        try:
+            state = fetch_state(url)
+        except OSError as exc:
+            print(f"watch: endpoint unreachable ({exc})", file=out, flush=True)
+            return 1
+        print(render_state(state), file=out, flush=True)
+        if once or state.get("progress", {}).get("finished"):
+            return 0
+        print("---", file=out, flush=True)
+        time.sleep(interval)

@@ -1,0 +1,195 @@
+"""MetricsHub: thread-safe counters/gauges/histograms over trace events.
+
+The hub is the aggregation side of the observability layer: recorders
+collect raw events, the hub folds them into fixed-size summaries that are
+cheap to snapshot, serialize, and — crucially — *merge*: per-run hubs
+combine into a campaign hub because histograms share fixed bin edges, so
+the dashboard can show campaign-wide staleness and wire-byte distributions
+without keeping any raw event around.
+
+Everything here is wall-clock free and deterministic given the same
+events, so hub snapshots of sim runs reproduce bit-for-bit too.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.lockorder import make_lock
+from repro.obs.events import TraceRecord
+
+#: staleness samples are small integers with a heavy tail — linear bins up
+#: to 16, then doubling (the paper's distributions live well inside this)
+STALENESS_EDGES = tuple(float(x) for x in range(0, 17)) + (32.0, 64.0, 128.0)
+
+#: wire bytes per message span ~5 orders of magnitude: power-of-4 edges
+WIRE_BYTES_EDGES = tuple(float(4 ** k) for k in range(0, 13))
+
+
+class Histogram:
+    """A fixed-bin, mergeable histogram.
+
+    ``edges`` are the interior bin boundaries in ascending order: bin ``i``
+    counts values in ``[edges[i-1], edges[i])`` with an underflow bin below
+    ``edges[0]`` and an overflow bin at/above ``edges[-1]`` — so ``counts``
+    has ``len(edges) + 1`` entries.  Two histograms merge iff their edges
+    are identical, which is why every standard distribution in this repo
+    uses one of the module-level edge tuples.
+    """
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if len(edges) < 1:
+            raise ValueError("histogram needs at least one bin edge")
+        if any(b <= a for a, b in zip(edges, list(edges)[1:])):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.edges: List[float] = [float(e) for e in edges]
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.edges)
+        while lo < hi:  # bisect_right by hand: edges are a plain list
+            mid = (lo + hi) // 2
+            if value < self.edges[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.total += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def merge(self, other: "Histogram") -> None:
+        if self.edges != other.edges:
+            raise ValueError("cannot merge histograms with different bin edges")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.total else 0.0,
+            "max": self.max if self.total else 0.0,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Histogram":
+        hist = cls(payload["edges"])
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram payload counts do not match its edges")
+        hist.counts = counts
+        hist.total = int(payload["count"])
+        hist.sum = float(payload["sum"])
+        if hist.total:
+            hist.min = float(payload["min"])
+            hist.max = float(payload["max"])
+        return hist
+
+
+class MetricsHub:
+    """Named counters, gauges and histograms under one lock."""
+
+    def __init__(self) -> None:
+        self._lock = make_lock("MetricsHub._lock")
+        self._counters: Dict[str, float] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, float] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
+
+    def inc(self, name: str, delta: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(delta)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float, edges: Sequence[float] = STALENESS_EDGES) -> None:
+        """Add ``value`` to histogram ``name`` (created on first use)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(edges)
+            hist.add(value)
+
+    # ------------------------------------------------------------------ #
+    def ingest(self, records: Iterable[TraceRecord]) -> None:
+        """Fold trace records into the standard metric names.
+
+        The mapping is fixed so per-run and per-campaign hubs agree:
+        staleness samples -> ``staleness`` histogram, wire_bytes events ->
+        ``wire_bytes`` histogram + byte counters, spans -> per-phase
+        ``span_ms.<phase>`` counters, everything else -> event counters.
+        """
+        for record in records:
+            self.inc(f"events.{record.kind}")
+            if record.kind == "staleness":
+                self.observe("staleness", float(record.fields["value"]), STALENESS_EDGES)
+            elif record.kind == "wire_bytes":
+                wire = float(record.fields["wire"])
+                self.observe("wire_bytes", wire, WIRE_BYTES_EDGES)
+                self.inc("bytes.logical", float(record.fields["logical"]))
+                self.inc("bytes.wire", wire)
+            elif record.kind == "span":
+                self.inc(f"span_ms.{record.fields['phase']}", float(record.fields["dur_ms"]))
+            elif record.kind == "queue_depth":
+                self.observe("queue_depth", float(record.fields["depth"]), STALENESS_EDGES)
+            elif record.kind == "pairing_wait":
+                self.inc("pairing_wait_ms", float(record.fields["dur_ms"]))
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Merge another hub's :meth:`snapshot` (per-run -> campaign)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, float(value))
+        for name, payload in snapshot.get("histograms", {}).items():
+            other = Histogram.from_dict(payload)
+            with self._lock:
+                hist = self._histograms.get(name)
+                if hist is None:
+                    self._histograms[name] = other
+                else:
+                    hist.merge(other)
+
+    # ------------------------------------------------------------------ #
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready copy of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: hist.to_dict() for name, hist in self._histograms.items()
+                },
+            }
+
+
+def staleness_histogram(values: Iterable[float]) -> Histogram:
+    """The standard staleness histogram over raw samples."""
+    hist = Histogram(STALENESS_EDGES)
+    for value in values:
+        hist.add(value)
+    return hist

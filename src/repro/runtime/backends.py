@@ -101,14 +101,34 @@ def get_backend(name: str, **options) -> ExecutionBackend:
 
 
 def run_experiment(
-    config: TrainingConfig, backend: str = "sim", **backend_options
+    config: TrainingConfig,
+    backend: str = "sim",
+    obs: bool = False,
+    trace_path: str = "",
+    **backend_options,
 ) -> RunResult:
-    """Build a fresh plan from ``config`` and execute it on ``backend``."""
+    """Build a fresh plan from ``config`` and execute it on ``backend``.
+
+    ``obs=True`` attaches a live :class:`~repro.obs.recorder.TraceRecorder`
+    to the plan (the default is the no-op recorder, so un-instrumented
+    runs pay nothing); ``trace_path`` additionally dumps the finished
+    trace as JSONL.  Observability is execution wiring, not run identity —
+    it never changes results or spec keys.
+    """
     executor = get_backend(backend, **backend_options)
     plan = ExperimentPlan.from_config(
         config, build_workers=getattr(executor, "needs_worker_replicas", True)
     )
-    return executor.run(plan)
+    if obs or trace_path:
+        from repro.obs.recorder import TraceRecorder
+
+        plan.recorder = TraceRecorder(
+            run_id=f"{config.algorithm}-M{config.num_workers}-seed{config.seed}-{backend}"
+        )
+    result = executor.run(plan)
+    if trace_path:
+        plan.recorder.dump_jsonl(trace_path)
+    return result
 
 
 def _make_gossip_backend(**options) -> ExecutionBackend:

@@ -50,6 +50,7 @@ from repro.core.algorithms.adpsgd import gossip_staleness, pairwise_average
 from repro.core.metrics import RunResult
 from repro.nn.module import get_flat_params, set_flat_params
 from repro.nn.norm import bn_layers, load_bn_running_stats
+from repro.obs.recorder import NULL_RECORDER
 from repro.runtime.messages import GossipReport, Shutdown, WeightExchange
 from repro.runtime.server_actor import RunControl
 from repro.runtime.session import REQUEST_BYTES, ExperimentPlan, ExperimentSession
@@ -81,12 +82,15 @@ class PairingBoard:
     coordinator ends the run and :meth:`shutdown` releases the rest.
     """
 
-    def __init__(self, topology: TopologyModel) -> None:
+    def __init__(self, topology: TopologyModel, recorder=None, clock=None) -> None:
         self._topology = topology
         self._cond = make_condition("PairingBoard._cond")
         self._waiting: Dict[int, int] = {}  # guarded-by: _cond — worker -> desired partner
         self._matches: Dict[int, int] = {}  # guarded-by: _cond — worker -> assigned partner
         self._open = True  # guarded-by: _cond
+        # optional trace sink: how long each worker parks before matching
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     def _pick_partner(self, worker: int, desired: int) -> Optional[int]:
         """Choose a waiting neighbor under the lock (desired first)."""
@@ -98,18 +102,27 @@ class PairingBoard:
 
     def request(self, worker: int, desired: int) -> Optional[int]:
         """Block until matched with a neighbor; None when the run ended."""
+        start = self._clock() if self._recorder.enabled else 0.0
         with self._cond:
             partner = self._pick_partner(worker, desired)
             if partner is not None:
                 del self._waiting[partner]
                 self._matches[partner] = worker
                 self._cond.notify_all()
-                return partner
-            self._waiting[worker] = desired
-            while self._open and worker not in self._matches:
-                self._cond.wait(timeout=0.05)
-            self._waiting.pop(worker, None)
-            return self._matches.pop(worker, None)
+            else:
+                self._waiting[worker] = desired
+                while self._open and worker not in self._matches:
+                    self._cond.wait(timeout=0.05)
+                self._waiting.pop(worker, None)
+                partner = self._matches.pop(worker, None)
+        if self._recorder.enabled:
+            now = self._clock()
+            self._recorder.emit(
+                now, "pairing_wait", worker,
+                dur_ms=(now - start) * 1e3,
+                partner=-1 if partner is None else partner,
+            )
+        return partner
 
     def shutdown(self) -> None:
         """Release every parked worker (they return None)."""
@@ -232,14 +245,22 @@ class GossipBackend:
                 clocks[m] += duration
                 server.batches_processed += 1
                 server.version += 1
+                staleness = gossip_staleness(steps[m], last_avg[m])
                 session.trace.record(
                     clocks[m],
                     "update",
                     m,
                     version=server.version,
-                    staleness=gossip_staleness(steps[m], last_avg[m]),
+                    staleness=staleness,
                     value=payload.loss,
                 )
+                # virtual-time events only in sim mode: the trace stays
+                # bit-reproducible run to run
+                if plan.recorder.enabled and staleness >= 0:
+                    plan.recorder.emit(
+                        clocks[m], "staleness", m,
+                        value=float(int(staleness)), version=server.version,
+                    )
                 session.maybe_evaluate(max(clocks))
 
             # gossip: a conflict-free matching over the topology
@@ -259,6 +280,12 @@ class GossipBackend:
                 # full-duplex exchange: one model payload each way
                 stats.count_peer(i, j, plan.model_bytes)
                 stats.count_peer(j, i, plan.model_bytes)
+                if plan.recorder.enabled:
+                    for sender in (i, j):
+                        plan.recorder.emit(
+                            t_done, "wire_bytes", sender, direction="peer",
+                            logical=int(plan.model_bytes), wire=int(plan.model_bytes),
+                        )
             round_index += 1
 
         total_time = max(clocks) if clocks else 0.0
@@ -285,13 +312,15 @@ class GossipBackend:
     ) -> RunResult:
         config = plan.config
         n = config.num_workers
+        ctl = RunControl()
         transport = GossipTransport(
             n,
             topology=topology if self.time_scale > 0 else None,
             time_scale=self.time_scale,
+            recorder=plan.recorder,
+            clock=ctl.clock,
         )
-        board = PairingBoard(topology)
-        ctl = RunControl()
+        board = PairingBoard(topology, recorder=plan.recorder, clock=ctl.clock)
 
         coordinator = threading.Thread(
             target=self._coordinator_loop,
@@ -371,6 +400,11 @@ class GossipBackend:
                     staleness=msg.staleness,
                     value=msg.loss,
                 )
+                if plan.recorder.enabled and msg.staleness >= 0:
+                    plan.recorder.emit(
+                        now, "staleness", msg.worker,
+                        value=float(int(msg.staleness)), version=server.version,
+                    )
                 session.maybe_evaluate(now)
                 if server.batches_processed >= plan.total_updates:
                     ctl.done.set()

@@ -96,6 +96,24 @@ class BnStatsPush(Message):
 
 
 @dataclass(frozen=True)
+class TracePush(Message):
+    """Worker -> parent at shutdown: the child's retained trace rows.
+
+    Only instrumented (``obs on``) proc runs send this: the child's
+    :class:`~repro.obs.recorder.TraceRecorder` lives in its own address
+    space, so after Shutdown the child ships its encoded wire rows
+    (:func:`~repro.obs.events.encode_record` format) once, and the parent
+    merges them into the plan's recorder before the result is built.
+    ``rows`` is a tuple of ``[t, kind, worker, *fields]`` lists; each is
+    validated against the event registry on ingestion, never trusted.
+    An obs child always sends one push — even empty — so the parent can
+    wait for all ``M`` of them deterministically.
+    """
+
+    rows: tuple = ()
+
+
+@dataclass(frozen=True)
 class WeightExchange(Message):
     """Worker -> worker: one side of an AD-PSGD pairwise average.
 

@@ -57,7 +57,8 @@ from repro.cluster.network import NetworkModel
 from repro.core.metrics import RunResult
 from repro.nn.norm import bn_layers, load_bn_running_stats
 from repro.runtime.codecs import make_codec
-from repro.runtime.messages import BnStatsPush, Message, Shutdown
+from repro.obs.recorder import NULL_RECORDER
+from repro.runtime.messages import BnStatsPush, Message, Shutdown, TracePush
 from repro.runtime.server_actor import RunControl, server_actor_loop
 from repro.runtime.session import ExperimentPlan, ExperimentSession
 from repro.runtime.transport import CommStats, Mailbox
@@ -100,6 +101,7 @@ class SocketTransport:
         num_workers: int,
         network: Optional[NetworkModel] = None,
         time_scale: float = 0.0,
+        recorder=NULL_RECORDER,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -125,6 +127,13 @@ class SocketTransport:
         #: written by per-worker reader threads, read after bn_stats_ready
         self.bn_stats: Dict[int, tuple] = {}  # guarded-by: _bn_lock
         self.bn_stats_ready = threading.Event()
+        #: the plan's recorder; obs children stream their trace rows here
+        #: at shutdown (TracePush — same sideband contract as BN stats)
+        self.recorder = recorder
+        self._trace_lock = make_lock("SocketTransport._trace_lock")
+        self._trace_seen = 0  # guarded-by: _trace_lock
+        #: set once every worker's TracePush landed (obs runs only)
+        self.trace_ready = threading.Event()
 
     # ------------------------------------------------------------------ #
     def attach(self, worker: int, conn: FrameConnection) -> None:
@@ -156,6 +165,16 @@ class SocketTransport:
                     with self._bn_lock:
                         self.bn_stats[worker] = message.stats
                     self.bn_stats_ready.set()
+                    continue
+                if isinstance(message, TracePush):
+                    # same sideband: merge the child's trace rows (each one
+                    # re-validated against the event registry on ingestion)
+                    if self.recorder.enabled:
+                        self.recorder.ingest_rows(message.rows)
+                    with self._trace_lock:
+                        self._trace_seen += 1
+                        if self._trace_seen >= self.num_workers:
+                            self.trace_ready.set()
                     continue
                 self.server_inbox.put(message)
         except Exception as exc:
@@ -282,6 +301,7 @@ class ProcBackend:
             num_workers,
             network=plan.network if self.time_scale > 0 else None,
             time_scale=self.time_scale,
+            recorder=plan.recorder,
         )
         ctl = RunControl()
         procs: List[subprocess.Popen] = []
@@ -293,7 +313,10 @@ class ProcBackend:
             port = listener.getsockname()[1]
             token = secrets.token_hex(16)
             procs = self._spawn_children(num_workers, port, token)
-            conns = self._handshake(listener, procs, token, config)
+            conns = self._handshake(
+                listener, procs, token, config,
+                obs=bool(getattr(plan.recorder, "enabled", False)),
+            )
 
             def worker_link_failed(worker: int, exc: Exception) -> None:
                 if not ctl.done.is_set():
@@ -332,6 +355,13 @@ class ProcBackend:
             ctl.raise_if_failed()
             if server_thread.is_alive():
                 raise RuntimeError("proc backend failed to join its server actor")
+
+            if plan.recorder.enabled and not transport.trace_ready.wait(timeout=10.0):
+                # children are reaped, so a missing push can only mean a
+                # crashed-then-restarted run path: degrade, don't fail
+                logger.warning(
+                    "obs: not every worker child streamed its trace rows"
+                )
 
             if needs_local_bn:
                 # children have exited (reaped above), so the stats frame is
@@ -396,6 +426,7 @@ class ProcBackend:
         procs: List[subprocess.Popen],
         token: str,
         config,
+        obs: bool = False,
     ) -> Dict[int, FrameConnection]:
         """Accept, authenticate, configure and confirm every worker child."""
         num_workers = len(procs)
@@ -444,6 +475,7 @@ class ProcBackend:
                     "codec": config.comm_codec,
                     "time_scale": self.time_scale,
                     "compute_scale": self.compute_scale,
+                    "obs": bool(obs),
                 },
             )
             for worker, conn in conns.items():

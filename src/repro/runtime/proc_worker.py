@@ -40,6 +40,7 @@ from typing import List, Optional
 
 from repro.core.config import TrainingConfig
 from repro.nn.norm import bn_layers
+from repro.obs.recorder import NULL_RECORDER, make_recorder
 from repro.runtime.codecs import make_codec
 from repro.runtime.proc_backend import TOKEN_ENV
 from repro.runtime.messages import (
@@ -50,6 +51,7 @@ from repro.runtime.messages import (
     PullRequest,
     Shutdown,
     StatePush,
+    TracePush,
 )
 from repro.runtime.session import REQUEST_BYTES, WorkerRuntime
 from repro.runtime.transport import Mailbox
@@ -123,40 +125,69 @@ class WorkerChannel:
         self._conn.send_message(message, nbytes=nbytes)
 
 
-def run_worker(channel: WorkerChannel, runtime: WorkerRuntime, compute_scale: float) -> None:
-    """The paper's cycle, free-running until the server says Shutdown."""
+def run_worker(
+    channel: WorkerChannel,
+    runtime: WorkerRuntime,
+    compute_scale: float,
+    recorder=NULL_RECORDER,
+) -> None:
+    """The paper's cycle, free-running until the server says Shutdown.
+
+    With an obs recorder attached, each cycle emits per-phase ``span``
+    events — wire (pull/compensation waits), compute (forward/backward),
+    encode (uplink serialization + send) — on the child's own clock
+    (seconds since its first cycle).  Span *durations* are what the
+    parent-side attribution sums, so the clock skew between parent and
+    child timebases never matters.
+    """
     m = runtime.worker_id
     worker = runtime.worker
     config = runtime.config
     crash_after = _crash_after(m)
     start = time.perf_counter()
+    obs = recorder.enabled
+
+    def now() -> float:
+        return time.perf_counter() - start
+
     cycles = 0
     while True:
         if crash_after is not None and cycles >= crash_after:
             os._exit(EXIT_CRASH_INJECTED)  # simulate a SIGKILLed/crashed node
-        channel.to_server(
-            PullRequest(m, sent_at=time.perf_counter() - start), nbytes=REQUEST_BYTES
-        )
+        t0 = now()
+        channel.to_server(PullRequest(m, sent_at=t0), nbytes=REQUEST_BYTES)
         msg = channel.inbox.get()
         if isinstance(msg, Shutdown):
             return
+        if obs:
+            recorder.emit(now(), "span", m, phase="wire", dur_ms=(now() - t0) * 1e3)
         # virtual durations drive emulation sleeps only; features are real
         dur_fwd = runtime.compute.duration(m, fraction=1.0 / 3.0)
         dur_bwd = runtime.compute.duration(m, fraction=2.0 / 3.0)
-        t_comm = (time.perf_counter() - start) - msg.request_sent_at
+        t_comm = now() - msg.request_sent_at
         worker.load_params(msg.weights, msg.version, t_comm)
 
+        fwd_start = now()
         state = worker.forward()
         if compute_scale > 0:
             time.sleep(compute_scale * dur_fwd)
+        if obs:
+            recorder.emit(
+                now(), "span", m, phase="compute", dur_ms=(now() - fwd_start) * 1e3
+            )
 
         reply = None
         if runtime.requires_compensation:
+            t0 = now()
             channel.to_server(StatePush(m, state=state), nbytes=runtime.state_bytes)
             msg = channel.inbox.get()
             if isinstance(msg, Shutdown):
                 return
             reply = msg.reply
+            if obs:
+                recorder.emit(
+                    now(), "span", m, phase="wire", dur_ms=(now() - t0) * 1e3
+                )
 
         bwd_start = time.perf_counter()
         payload = worker.backward(
@@ -168,13 +199,23 @@ def run_worker(channel: WorkerChannel, runtime: WorkerRuntime, compute_scale: fl
         if compute_scale > 0:
             time.sleep(compute_scale * dur_bwd)
         worker.last_t_comp = time.perf_counter() - bwd_start
+        if obs:
+            recorder.emit(
+                now(), "span", m, phase="compute",
+                dur_ms=(time.perf_counter() - bwd_start) * 1e3,
+            )
 
+        push_start = now()
         if runtime.requires_compensation:
             channel.to_server(GradientPush(m, payload=payload), nbytes=runtime.model_bytes)
         else:
             channel.to_server(
                 CombinedPush(m, state=state, payload=payload),
                 nbytes=runtime.model_bytes + runtime.state_bytes,
+            )
+        if obs:
+            recorder.emit(
+                now(), "span", m, phase="encode", dur_ms=(now() - push_start) * 1e3
             )
         cycles += 1
 
@@ -198,6 +239,23 @@ def _stream_local_bn_stats(conn: FrameConnection, runtime: WorkerRuntime) -> Non
     )
     try:
         conn.send_message(BnStatsPush(0, stats=stats))
+    except (OSError, WireError):
+        pass
+
+
+def _stream_trace(conn: FrameConnection, worker_id: int, recorder) -> None:
+    """After Shutdown: ship this child's trace rows to the parent.
+
+    An obs child *always* sends exactly one :class:`TracePush` — even with
+    zero retained rows — so the parent can wait for all ``M`` pushes
+    instead of guessing.  Row timestamps are child-clock seconds; only the
+    span durations feed cross-process attribution.  A vanished parent just
+    means nobody is aggregating — exit quietly.
+    """
+    if not recorder.enabled:
+        return
+    try:
+        conn.send_message(TracePush(worker_id, rows=tuple(recorder.rows())))
     except (OSError, WireError):
         pass
 
@@ -265,14 +323,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         time_scale = float(body.get("time_scale", 0.0))
         compute_scale = float(body.get("compute_scale", 0.0))
+        recorder = make_recorder(
+            bool(body.get("obs", False)), run_id=f"proc-worker-{worker_id}"
+        )
         channel = WorkerChannel(
             conn,
             worker_id,
             network=runtime.network if time_scale > 0 else None,
             time_scale=time_scale,
         )
-        run_worker(channel, runtime, compute_scale)
+        run_worker(channel, runtime, compute_scale, recorder=recorder)
         _stream_local_bn_stats(conn, runtime)
+        _stream_trace(conn, worker_id, recorder)
         return 0
     except (ConnectionClosed, BrokenPipeError, ConnectionResetError):
         # the parent vanished (crash or SIGKILL): exit quietly, never linger

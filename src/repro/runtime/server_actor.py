@@ -78,6 +78,7 @@ def server_actor_loop(session: ExperimentSession, transport, ctl: RunControl) ->
     plan = session.plan
     server = plan.server
     trace = session.trace
+    recorder = plan.recorder
     try:
         while True:
             msg = transport.server_inbox.get()
@@ -86,6 +87,11 @@ def server_actor_loop(session: ExperimentSession, transport, ctl: RunControl) ->
             if ctl.done.is_set():
                 continue  # budget met: drop straggler traffic
             now = ctl.clock()
+            if recorder.enabled:
+                recorder.emit(
+                    now, "queue_depth", msg.worker,
+                    queue="server_inbox", depth=transport.server_inbox.approx_len(),
+                )
             if isinstance(msg, PullRequest):
                 weights = server.handle_pull(msg.worker, request_time=msg.sent_at)
                 trace.record(now, "pull", msg.worker, version=server.version)
@@ -116,6 +122,13 @@ def server_actor_loop(session: ExperimentSession, transport, ctl: RunControl) ->
                     now, "update", msg.worker,
                     version=server.version, staleness=staleness, value=msg.payload.loss,
                 )
+                # same site, same value as the ClusterTrace update event, so
+                # the trace's staleness histogram matches RunResult.staleness
+                if recorder.enabled and staleness >= 0:
+                    recorder.emit(
+                        now, "staleness", msg.worker,
+                        value=float(int(staleness)), version=server.version,
+                    )
                 if advanced:
                     for worker_id, t0 in server.drain_pending_pulls():
                         transport.to_worker(

@@ -61,6 +61,7 @@ from repro.data.registry import build_dataset
 from repro.nn.module import Module, get_flat_params, set_flat_params
 from repro.nn.norm import bn_layers, load_bn_running_stats
 from repro.nn.registry import build_model
+from repro.obs.recorder import NULL_RECORDER
 from repro.optim.lr_scheduler import MultiStepLR
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngTree
@@ -168,6 +169,10 @@ class ExperimentPlan:
     on_curve_point: Optional[Callable[[CurvePoint], None]] = field(
         default=None, compare=False
     )
+    #: trace event sink (NULL_RECORDER = obs off, a no-op).  Backends and
+    #: transports emit spans/events here; like ``on_curve_point`` it is
+    #: execution wiring, not run identity, so it never enters spec keys.
+    recorder: object = field(default=NULL_RECORDER, compare=False)
 
     @classmethod
     def from_config(
@@ -484,6 +489,24 @@ class ExperimentSession:
             "step_pred_ms": plan.timer.total("step-pred") * 1e3 / updates,
             "worker_compute_ms": plan.timer.total("worker-compute") * 1e3 / updates,
         }
+        obs: Dict = {}
+        recorder = plan.recorder
+        if getattr(recorder, "enabled", False):
+            # fold the wall-clock Timer totals into the trace meta so
+            # per-phase cost lives in one place (spans + timer sections)
+            recorder.set_timer_totals(plan.timer.totals())
+            from repro.obs.hub import MetricsHub
+
+            hub = MetricsHub()
+            records = recorder.records()  # decode once, aggregate twice
+            hub.ingest(records)
+            obs = {
+                "enabled": True,
+                "records": len(recorder),
+                "dropped": recorder.dropped,
+                "spans_ms": recorder.phase_totals_ms(records),
+                "hub": hub.snapshot(),
+            }
         return RunResult(
             algorithm=plan.config.algorithm,
             num_workers=plan.config.num_workers,
@@ -502,4 +525,5 @@ class ExperimentSession:
             topology=plan.config.topology if plan.config.algorithm == "ad-psgd" else "",
             codec=codec,
             comm=dict(comm) if comm else {},
+            obs=obs,
         )

@@ -152,13 +152,15 @@ class ThreadBackend:
             ).run(plan)
         session = ExperimentSession(plan)
         num_workers = plan.config.num_workers
+        ctl = RunControl()
         transport = InProcTransport(
             num_workers,
             network=plan.network if self.time_scale > 0 else None,
             time_scale=self.time_scale,
             codec_name=plan.config.comm_codec,
+            recorder=plan.recorder,
+            clock=ctl.clock,
         )
-        ctl = RunControl()
         turnstile = RoundRobinTurnstile(num_workers) if self.deterministic else None
 
         server_thread = threading.Thread(

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.lockorder import make_condition, make_lock
 from repro.cluster.network import NetworkModel
+from repro.obs.recorder import NULL_RECORDER
 from repro.runtime.codecs import make_codec
 from repro.runtime.messages import Message
 
@@ -149,6 +150,16 @@ class Mailbox:
         with self._cond:
             return len(self._items)
 
+    def approx_len(self) -> int:
+        """Lock-free depth for gauges/tracing (``len(deque)`` is GIL-atomic).
+
+        The trace's queue_depth emit runs once per server message; taking
+        ``_cond`` there would contend with every producer on the hot path.
+        A depth read without the lock can be off by in-flight puts — fine
+        for a backpressure gauge, never for logic.
+        """
+        return len(self._items)
+
 
 class InProcTransport:
     """Queue-based message fabric emulating per-worker links."""
@@ -159,6 +170,8 @@ class InProcTransport:
         network: Optional[NetworkModel] = None,
         time_scale: float = 0.0,
         codec_name: str = "raw32",
+        recorder=NULL_RECORDER,
+        clock=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -167,6 +180,10 @@ class InProcTransport:
         self.num_workers = int(num_workers)
         self.network = network
         self.time_scale = float(time_scale)
+        # trace sink + the backend's clock ("now" provider); the recorder
+        # never reads time itself, so the no-op default costs one branch
+        self.recorder = recorder
+        self.clock = clock if clock is not None else (lambda: 0.0)
         self.server_inbox = Mailbox()
         self.worker_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
         self.stats = CommStats(self.num_workers)
@@ -207,6 +224,11 @@ class InProcTransport:
                 message, self._uplink_codecs[worker], nbytes
             )
         self.stats.count(worker, nbytes, wire)
+        if self.recorder.enabled and nbytes > 0:
+            self.recorder.emit(
+                self.clock(), "wire_bytes", worker,
+                direction="up", logical=int(nbytes), wire=int(wire),
+            )
         # a compressed message occupies the emulated uplink for its wire
         # footprint, not its logical one — that is the ablation's point
         delay = self._link_delay(worker, wire)
@@ -226,6 +248,11 @@ class InProcTransport:
 
             message, wire = codec_roundtrip_message(message, self._downlink_codec, nbytes)
         self.stats.count(worker, nbytes, wire)
+        if self.recorder.enabled and nbytes > 0:
+            self.recorder.emit(
+                self.clock(), "wire_bytes", worker,
+                direction="down", logical=int(nbytes), wire=int(wire),
+            )
         delay = self._link_delay(worker, wire)
         not_before = time.monotonic() + delay if delay > 0 else 0.0
         self.worker_inboxes[worker].put(message, not_before=not_before)
@@ -258,6 +285,8 @@ class GossipTransport:
         num_workers: int,
         topology: Optional["TopologyModel"] = None,
         time_scale: float = 0.0,
+        recorder=NULL_RECORDER,
+        clock=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -266,6 +295,8 @@ class GossipTransport:
         self.num_workers = int(num_workers)
         self.topology = topology
         self.time_scale = float(time_scale)
+        self.recorder = recorder
+        self.clock = clock if clock is not None else (lambda: 0.0)
         self.coordinator_inbox = Mailbox()
         self.peer_inboxes: List[Mailbox] = [Mailbox() for _ in range(self.num_workers)]
         # the coordinator is this architecture's hub endpoint: CommStats'
@@ -276,6 +307,11 @@ class GossipTransport:
     def to_peer(self, sender: int, receiver: int, message: Message, nbytes: int = 0) -> None:
         """Worker -> worker send; the emulated uplink delays the caller."""
         self.stats.count_peer(sender, receiver, nbytes)
+        if self.recorder.enabled and nbytes > 0:
+            self.recorder.emit(
+                self.clock(), "wire_bytes", sender,
+                direction="peer", logical=int(nbytes), wire=int(nbytes),
+            )
         if self.topology is not None and self.time_scale > 0 and nbytes > 0:
             time.sleep(self.time_scale * self.topology.transfer_time(sender, receiver, nbytes))
         self.peer_inboxes[receiver].put(message)

@@ -73,6 +73,7 @@ from repro.runtime.messages import (
     PullRequest,
     Shutdown,
     StatePush,
+    TracePush,
     WeightExchange,
 )
 
@@ -338,6 +339,18 @@ def _dec_bn_stats(fields, arrays, owned):
     return BnStatsPush(int(fields["worker"]), stats=stats)
 
 
+def _enc_trace_push(msg: TracePush):
+    # trace rows are small JSON-safe scalars ([t, kind, worker, *fields]):
+    # they ride the header, no array part — the data plane stays untouched
+    return {"worker": msg.worker, "rows": [list(row) for row in msg.rows]}, []
+
+
+def _dec_trace_push(fields, arrays, owned):
+    return TracePush(
+        int(fields["worker"]), rows=tuple(list(row) for row in fields["rows"])
+    )
+
+
 def _enc_weight_exchange(msg: WeightExchange):
     fields = {
         "worker": msg.worker,
@@ -403,6 +416,7 @@ _CODECS = {
     "CombinedPush": (CombinedPush, _enc_combined_push, _dec_combined_push),
     "Shutdown": (Shutdown, _enc_shutdown, _dec_shutdown),
     "BnStatsPush": (BnStatsPush, _enc_bn_stats, _dec_bn_stats),
+    "TracePush": (TracePush, _enc_trace_push, _dec_trace_push),
     "WeightExchange": (WeightExchange, _enc_weight_exchange, _dec_weight_exchange),
     "GossipReport": (GossipReport, _enc_gossip_report, _dec_gossip_report),
 }

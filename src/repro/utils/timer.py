@@ -24,8 +24,20 @@ class WallTimer:
         self.elapsed = time.perf_counter() - self._start
 
 
+#: per-section sample retention cap — totals/counts stay exact forever,
+#: only the raw sample list is bounded (a long run must not grow an
+#: unbounded float list per section; the distribution's head is enough
+#: for the overhead tables, which report totals and means anyway)
+MAX_SAMPLES_PER_SECTION = 4096
+
+
 class Timer:
     """Accumulating named timer, used to attribute per-iteration cost.
+
+    ``total``/``count``/``mean`` are exact over the whole run; raw samples
+    are retained only up to ``max_samples`` per section (deterministic
+    prefix, not a reservoir — reservoir sampling would need an RNG, and
+    timers live inside otherwise-deterministic runs).
 
     >>> t = Timer()
     >>> with t.section("loss-pred"):
@@ -34,7 +46,10 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_samples: int = MAX_SAMPLES_PER_SECTION) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.max_samples = int(max_samples)
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
         self._samples: Dict[str, List[float]] = {}
@@ -63,7 +78,14 @@ class Timer:
         with self._lock:
             self._totals[name] = self._totals.get(name, 0.0) + seconds
             self._counts[name] = self._counts.get(name, 0) + 1
-            self._samples.setdefault(name, []).append(seconds)
+            samples = self._samples.setdefault(name, [])
+            if len(samples) < self.max_samples:
+                samples.append(seconds)
+
+    def samples(self, name: str) -> List[float]:
+        """The retained samples for ``name`` (capped at ``max_samples``)."""
+        with self._lock:
+            return list(self._samples.get(name, ()))
 
     def total(self, name: str) -> float:
         """Total seconds accumulated for ``name`` (0.0 if never recorded)."""
@@ -81,6 +103,19 @@ class Timer:
     def names(self) -> List[str]:
         """All section names recorded so far."""
         return sorted(self._totals)
+
+    def totals(self) -> Dict[str, Dict[str, float]]:
+        """Every section's exact aggregate: ``{name: {total_s, count}}``.
+
+        This is what ``build_result`` folds into a trace's meta line, so
+        per-phase wall cost appears once (trace) instead of twice
+        (trace + timer).
+        """
+        with self._lock:
+            return {
+                name: {"total_s": self._totals[name], "count": float(self._counts[name])}
+                for name in sorted(self._totals)
+            }
 
     def reset(self) -> None:
         """Drop all recorded samples."""

@@ -1,0 +1,141 @@
+"""trace-registry pass on synthetic registry/emit-site fixtures."""
+
+from __future__ import annotations
+
+from repro.analysis import run_passes
+
+GOOD_EVENTS = """\
+EVENT_KINDS = {
+    "span": EventKind(
+        name="span",
+        doc="A timed phase.",
+        fields=("phase", "dur_ms"),
+    ),
+    "mark": EventKind(
+        name="mark",
+        doc="A freeform annotation.",
+        fields=("label",),
+    ),
+}
+"""
+
+GOOD_SITES = """\
+def instrumented(recorder, t):
+    recorder.emit(t, "span", 3, phase="compute", dur_ms=1.5)
+    recorder.emit(t, "mark", label="epoch-end")
+"""
+
+
+def test_clean_fixture_has_no_findings(make_fixture_tree):
+    root = make_fixture_tree(
+        {"obs/events.py": GOOD_EVENTS, "runtime/worker.py": GOOD_SITES}
+    )
+    assert run_passes(root, rules=["trace"]) == []
+
+
+def test_tree_without_obs_layer_is_skipped(make_fixture_tree):
+    root = make_fixture_tree({"runtime/worker.py": GOOD_SITES})
+    assert run_passes(root, rules=["trace"]) == []
+
+
+def test_missing_registry_table_is_flagged(make_fixture_tree):
+    root = make_fixture_tree({"obs/events.py": "TRACE_VERSION = 1\n"})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "no EVENT_KINDS" in findings[0].message
+
+
+def test_unregistered_kind_is_flagged(make_fixture_tree):
+    sites = GOOD_SITES + '\n\ndef rogue(recorder, t):\n    recorder.emit(t, "surprise", label="x")\n'
+    root = make_fixture_tree({"obs/events.py": GOOD_EVENTS, "runtime/worker.py": sites})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert findings[0].path == "runtime/worker.py"
+    assert "unregistered trace event kind 'surprise'" in findings[0].message
+
+
+def test_wrong_fields_are_flagged(make_fixture_tree):
+    sites = GOOD_SITES.replace(
+        'recorder.emit(t, "mark", label="epoch-end")',
+        'recorder.emit(t, "mark", text="epoch-end")',
+    )
+    root = make_fixture_tree({"obs/events.py": GOOD_EVENTS, "runtime/worker.py": sites})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "('text',)" in findings[0].message
+    assert "('label',)" in findings[0].message
+
+
+def test_missing_field_is_flagged(make_fixture_tree):
+    sites = GOOD_SITES.replace(
+        'recorder.emit(t, "span", 3, phase="compute", dur_ms=1.5)',
+        'recorder.emit(t, "span", 3, phase="compute")',
+    )
+    root = make_fixture_tree({"obs/events.py": GOOD_EVENTS, "runtime/worker.py": sites})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "declares ('dur_ms', 'phase')" in findings[0].message
+
+
+def test_computed_kind_is_flagged(make_fixture_tree):
+    sites = GOOD_SITES + "\n\ndef dynamic(recorder, t, kind):\n    recorder.emit(t, kind, label='x')\n"
+    root = make_fixture_tree({"obs/events.py": GOOD_EVENTS, "runtime/worker.py": sites})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "computed kind" in findings[0].message
+
+
+def test_positional_fields_are_flagged(make_fixture_tree):
+    sites = GOOD_SITES + '\n\ndef sloppy(recorder, t):\n    recorder.emit(t, "mark", 0, "label-value")\n'
+    root = make_fixture_tree({"obs/events.py": GOOD_EVENTS, "runtime/worker.py": sites})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "must be keywords" in findings[0].message
+
+
+def test_undocumented_registry_entry_is_flagged(make_fixture_tree):
+    events = GOOD_EVENTS.replace('doc="A freeform annotation.",\n        ', 'doc="",\n        ')
+    root = make_fixture_tree({"obs/events.py": events, "runtime/worker.py": GOOD_SITES})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "'mark'" in findings[0].message and "no literal doc" in findings[0].message
+
+
+def test_name_key_mismatch_is_flagged(make_fixture_tree):
+    events = GOOD_EVENTS.replace('name="mark",', 'name="remark",')
+    root = make_fixture_tree({"obs/events.py": events, "runtime/worker.py": GOOD_SITES})
+    findings = run_passes(root, rules=["trace"])
+    assert len(findings) == 1
+    assert "key and EventKind.name must agree" in findings[0].message
+
+
+def test_non_literal_fields_tuple_is_flagged(make_fixture_tree):
+    events = GOOD_EVENTS.replace('fields=("label",),', "fields=MARK_FIELDS,")
+    root = make_fixture_tree({"obs/events.py": events, "runtime/worker.py": GOOD_SITES})
+    findings = run_passes(root, rules=["trace"])
+    # the bad registry entry plus the now-uncheckable-but-registered site
+    # stays a single registry finding: the emit site still names "mark"
+    assert any("tuple of string literals" in f.message for f in findings)
+    assert all(f.path == "obs/events.py" for f in findings)
+
+
+def test_duplicate_fields_are_flagged(make_fixture_tree):
+    events = GOOD_EVENTS.replace('fields=("phase", "dur_ms"),', 'fields=("phase", "phase"),')
+    root = make_fixture_tree({"obs/events.py": events, "runtime/worker.py": GOOD_SITES})
+    findings = run_passes(root, rules=["trace"])
+    assert any("duplicate fields" in f.message for f in findings)
+
+
+def test_splat_fields_are_skipped(make_fixture_tree):
+    sites = GOOD_SITES + '\n\ndef relay(recorder, t, fields):\n    recorder.emit(t, "mark", **fields)\n'
+    root = make_fixture_tree({"obs/events.py": GOOD_EVENTS, "runtime/worker.py": sites})
+    assert run_passes(root, rules=["trace"]) == []
+
+
+def test_real_package_is_clean():
+    from pathlib import Path
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    assert run_passes(root, rules=["trace"]) == []

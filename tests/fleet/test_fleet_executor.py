@@ -282,3 +282,32 @@ def test_agent_validates_arguments():
         FleetExecutor([])
     with pytest.raises(ValueError, match="positive"):
         FleetExecutor(["h:1"], heartbeat_timeout=0.0)
+
+
+# ---------------------------------------------------------------------- #
+# observability: trace frames ride the existing control plane
+# ---------------------------------------------------------------------- #
+def test_obs_campaign_ships_traces_over_trace_frames(agents):
+    specs = Grid(seed=[0, 1]).specs(spirals_factory)
+    events = RecordingEvents()
+    executor = FleetExecutor([a.address for a in agents], obs=True)
+    report = Campaign(specs, executor=executor, events=events).run()
+
+    assert len(report.runs) == len(specs)
+    # every cell ran with a live recorder on its agent...
+    assert all(result.obs.get("enabled") for result in report.results)
+    # ...and shipped its raw rows back before the result frame: the
+    # campaign recorder holds staleness samples from both cells
+    kinds = {}
+    for record in executor.recorder.records():
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    expected = sum(result.staleness["count"] for result in report.results)
+    assert kinds.get("staleness", 0) == expected
+
+
+def test_obs_off_campaign_sends_no_trace_rows(agents):
+    specs = Grid(seed=[0]).specs(spirals_factory)
+    executor = FleetExecutor([agents[0].address])
+    report = Campaign(specs, executor=executor).run()
+    assert executor.recorder.rows() == []
+    assert report.results[0].obs == {}

@@ -1,0 +1,146 @@
+"""DashboardEvents + DashboardServer: live state, JSON endpoint, watch."""
+
+import json
+import threading
+
+from repro.core import TrainingConfig
+from repro.experiments import Campaign
+from repro.experiments.executors import SerialExecutor
+from repro.experiments.spec import ExperimentSpec
+from repro.obs.dashboard import (
+    DashboardEvents,
+    fetch_state,
+    render_state,
+    serve_dashboard,
+    watch,
+)
+
+
+def tiny_specs(n=2, epochs=1):
+    return [
+        ExperimentSpec(
+            config=TrainingConfig.tiny(
+                algorithm="asgd", num_workers=2, epochs=epochs, seed=seed
+            ),
+            backend="sim",
+        )
+        for seed in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# observer state, driven by a live (serial) campaign
+# ---------------------------------------------------------------------- #
+def test_dashboard_follows_a_live_sweep():
+    events = DashboardEvents()
+    report = Campaign(tiny_specs(2), executor=SerialExecutor(obs=True), events=events).run()
+    state = events.state()
+    assert state["progress"] == {
+        "total": 2, "cached": 0, "done": 2, "running": 0, "finished": True,
+    }
+    assert [run["status"] for run in state["runs"]] == ["done", "done"]
+    assert all(run["curve"] for run in state["runs"])
+    # per-run hubs merged into the campaign hub
+    assert state["hub"]["histograms"]["staleness"]["count"] > 0
+    assert len(report.results) == 2
+    json.dumps(state)  # the whole document must be JSON-serializable
+
+
+def test_progress_is_monotonic_and_serves_json_mid_campaign():
+    events = DashboardEvents()
+    server = serve_dashboard(events, port=0)
+    done_seen = [0]
+    violations = []
+
+    class Spy(SerialExecutor):
+        def run(self, jobs, total, campaign_events):
+            for triple in super().run(jobs, total, campaign_events):
+                # poll the real HTTP endpoint between runs, mid-campaign
+                state = fetch_state(server.url)
+                if state["progress"]["done"] < done_seen[0]:
+                    violations.append(state["progress"])
+                done_seen[0] = state["progress"]["done"]
+                assert state["progress"]["finished"] is False
+                yield triple
+
+    try:
+        Campaign(tiny_specs(3), executor=Spy(obs=True), events=events).run()
+    finally:
+        server.close()
+    assert violations == []
+    assert done_seen[0] >= 2  # the endpoint observed genuine mid-campaign progress
+    assert events.state()["progress"]["finished"] is True
+
+
+def test_agent_roster_and_death_notes():
+    events = DashboardEvents()
+    events.on_note("fleet: agents alpha:1 x1, beta:2 x1")
+    events.on_note("fleet: agent alpha:1 died (connection reset); requeued 2 job(s)")
+    state = events.state()
+    assert state["agents"] == ["alpha:1 x1", "beta:2 x1"]
+    assert any("died" in note for note in state["notes"])
+    rendered = render_state(state)
+    assert "agents: alpha:1 x1, beta:2 x1" in rendered
+    assert "note: fleet: agent alpha:1 died" in rendered
+
+
+def test_server_shutdown_is_clean_and_idempotent_state():
+    events = DashboardEvents()
+    server = serve_dashboard(events, port=0)
+    url = server.url
+    assert fetch_state(url)["progress"]["total"] == 0
+    server.close()
+    # the port is released: a fresh server can bind and serve again
+    server2 = serve_dashboard(events, port=server.address[1])
+    try:
+        assert fetch_state(server2.url)["progress"]["total"] == 0
+    finally:
+        server2.close()
+
+
+def test_linger_waits_for_a_post_finish_poll():
+    events = DashboardEvents()
+    server = serve_dashboard(events, port=0)
+    try:
+        assert server.linger(timeout=0.1) is False  # nobody ever polled: no wait
+        fetch_state(server.url)
+        events.on_campaign_end(None)
+        t = threading.Thread(target=lambda: fetch_state(server.url))
+        t.start()
+        assert server.linger(timeout=5.0) is True
+        t.join()
+    finally:
+        server.close()
+
+
+# ---------------------------------------------------------------------- #
+# the `repro watch` loop
+# ---------------------------------------------------------------------- #
+class _Sink:
+    def __init__(self):
+        self.text = ""
+
+    def write(self, chunk):
+        self.text += chunk
+
+    def flush(self):
+        pass
+
+
+def test_watch_exits_zero_on_finished_campaign():
+    events = DashboardEvents()
+    events.on_campaign_start(2, 0)
+    events.on_campaign_end(None)
+    server = serve_dashboard(events, port=0)
+    sink = _Sink()
+    try:
+        assert watch(server.url, interval=0.05, stream=sink) == 0
+    finally:
+        server.close()
+    assert "finished" in sink.text
+
+
+def test_watch_reports_unreachable_endpoint():
+    sink = _Sink()
+    assert watch("http://127.0.0.1:1/", once=True, stream=sink) == 1
+    assert "unreachable" in sink.text

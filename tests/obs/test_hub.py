@@ -1,0 +1,80 @@
+"""MetricsHub: fixed-bin histograms, merging, trace ingestion."""
+
+import pytest
+
+from repro.obs.events import decode_record
+from repro.obs.hub import (
+    STALENESS_EDGES,
+    Histogram,
+    MetricsHub,
+    staleness_histogram,
+)
+
+
+def test_histogram_bins_underflow_and_overflow():
+    hist = Histogram([0.0, 1.0, 2.0])
+    for value in (-0.5, 0.0, 0.5, 1.5, 2.0, 99.0):
+        hist.add(value)
+    assert hist.counts == [1, 2, 1, 2]  # <0 | [0,1) | [1,2) | >=2
+    assert hist.total == 6
+    assert hist.min == -0.5 and hist.max == 99.0
+
+
+def test_histogram_merge_requires_same_edges():
+    a, b = Histogram([0.0, 1.0]), Histogram([0.0, 1.0])
+    a.add(0.5)
+    b.add(1.5)
+    a.merge(b)
+    assert a.total == 2 and a.counts == [0, 1, 1]
+    with pytest.raises(ValueError):
+        a.merge(Histogram([0.0, 2.0]))
+
+
+def test_histogram_dict_round_trip():
+    hist = Histogram(STALENESS_EDGES)
+    for value in (0.0, 1.0, 3.0, 3.0):
+        hist.add(value)
+    clone = Histogram.from_dict(hist.to_dict())
+    assert clone.counts == hist.counts
+    assert clone.mean == pytest.approx(hist.mean)
+    assert clone.to_dict() == hist.to_dict()
+
+
+def test_hub_ingest_standard_names():
+    hub = MetricsHub()
+    rows = [
+        [0.1, "staleness", 0, 2.0, 5],
+        [0.2, "wire_bytes", 1, "up", 1000, 500],
+        [0.3, "span", 0, "compute", 4.0],
+        [0.4, "queue_depth", -1, "server", 3],
+        [0.5, "pairing_wait", 2, 1.5, 0],
+    ]
+    hub.ingest([decode_record(r) for r in rows])
+    snap = hub.snapshot()
+    assert snap["counters"]["events.staleness"] == 1.0
+    assert snap["counters"]["bytes.logical"] == 1000.0
+    assert snap["counters"]["bytes.wire"] == 500.0
+    assert snap["counters"]["span_ms.compute"] == 4.0
+    assert snap["counters"]["pairing_wait_ms"] == 1.5
+    assert snap["histograms"]["staleness"]["count"] == 1
+    assert snap["histograms"]["wire_bytes"]["count"] == 1
+    assert snap["histograms"]["queue_depth"]["count"] == 1
+
+
+def test_hub_merge_snapshot_accumulates():
+    a, b = MetricsHub(), MetricsHub()
+    a.observe("staleness", 1.0)
+    b.observe("staleness", 3.0)
+    b.inc("events.staleness", 2)
+    a.merge_snapshot(b.snapshot())
+    merged = a.snapshot()
+    assert merged["histograms"]["staleness"]["count"] == 2
+    assert merged["histograms"]["staleness"]["mean"] == pytest.approx(2.0)
+    assert merged["counters"]["events.staleness"] == 2.0
+
+
+def test_staleness_histogram_helper():
+    hist = staleness_histogram([0.0, 1.0, 1.0, 4.0])
+    assert hist.total == 4
+    assert hist.mean == pytest.approx(1.5)
+    assert hist.edges == list(STALENESS_EDGES)
